@@ -1,0 +1,29 @@
+"""Figure 2 benchmark: NeaTS vs LeaTS vs SNeaTS compression speed.
+
+The §IV-C1 in-text claims: LeaTS compresses ~5x and SNeaTS ~13x faster than
+full NeaTS, at 0.89% and 8.18% worse compression ratio respectively.  The
+ratio deltas land in ``extra_info``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NeaTS
+
+
+@pytest.mark.parametrize("variant", ["NeaTS", "LeaTS", "SNeaTS"])
+def test_variant_compression(benchmark, bench_series, variant):
+    if variant == "NeaTS":
+        comp = NeaTS()
+    elif variant == "LeaTS":
+        comp = NeaTS.linear_only()
+    else:
+        comp = NeaTS.with_model_selection()
+    compressed = benchmark.pedantic(
+        lambda: comp.compress(bench_series), rounds=1, iterations=1
+    )
+    assert np.array_equal(compressed.decompress(), bench_series)
+    benchmark.extra_info["ratio_pct"] = round(
+        100 * compressed.compression_ratio(), 2
+    )
+    benchmark.extra_info["fragments"] = compressed.num_fragments

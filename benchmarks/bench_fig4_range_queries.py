@@ -1,0 +1,36 @@
+"""Figure 4 benchmark: range-query throughput vs range size.
+
+The paper's shape: DAC is fastest for ranges below ~40 points (cheap per-
+point native access), NeaTS overtakes for everything larger (one fragment
+lookup amortised over a vectorised scan), block-wise compressors trail at
+both ends.
+"""
+
+import numpy as np
+import pytest
+
+RANGE_SIZES = [10, 40, 160, 640]
+
+
+def _starts(n, size, count=20):
+    rng = np.random.default_rng(size)
+    return rng.integers(0, max(n - size, 1), count).tolist()
+
+
+@pytest.mark.parametrize("size", RANGE_SIZES)
+@pytest.mark.parametrize("name", ["ALP", "DAC", "Lz4*", "NeaTS"])
+def test_range_query(benchmark, compressed_by_name, bench_series, name, size):
+    compressed = compressed_by_name[name]
+    starts = _starts(len(bench_series), size)
+
+    def run():
+        for s in starts:
+            compressed.decompress_range(s, s + size)
+
+    benchmark(run)
+    s = starts[0]
+    assert np.array_equal(
+        compressed.decompress_range(s, s + size), bench_series[s : s + size]
+    )
+    benchmark.extra_info["range_size"] = size
+    benchmark.extra_info["queries_per_round"] = len(starts)

@@ -1,0 +1,62 @@
+"""Table II benchmark: lossy compression — AA vs PLA vs NeaTS-L.
+
+Regenerates the paper's lossy comparison: per dataset, the three approaches
+are timed on compression, and their compression ratios are reported through
+``extra_info`` (the paper's Table II columns).  Run with::
+
+    pytest benchmarks/bench_table2_lossy.py --benchmark-only
+"""
+
+import pytest
+
+from repro.baselines import AaCompressor, PlaCompressor
+from repro.core import NeaTSLossy
+
+
+def _eps_for(y):
+    return max(0.01 * (int(y.max()) - int(y.min())), 1.0)
+
+
+@pytest.mark.parametrize("dataset", ["IT", "US", "CT"])
+class TestTable2Compression:
+    def test_aa_compress(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        eps = _eps_for(y)
+        result = benchmark(lambda: AaCompressor(eps).compress(y))
+        assert result.max_error(y) <= eps + 1e-6
+        benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
+        benchmark.extra_info["segments"] = result.num_segments
+
+    def test_pla_compress(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        eps = _eps_for(y)
+        result = benchmark(lambda: PlaCompressor(eps).compress(y))
+        assert result.max_error(y) <= eps + 1e-6
+        benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
+        benchmark.extra_info["segments"] = result.num_segments
+
+    def test_neats_l_compress(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        eps = _eps_for(y)
+        result = benchmark(lambda: NeaTSLossy(eps).compress(y))
+        assert result.max_error(y) <= eps + 1e-6
+        benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
+        benchmark.extra_info["fragments"] = len(result.fragments)
+
+
+@pytest.mark.parametrize("dataset", ["IT"])
+class TestTable2Decompression:
+    def test_pla_reconstruct(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        series = PlaCompressor(_eps_for(y)).compress(y)
+        benchmark(series.reconstruct)
+
+    def test_aa_reconstruct(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        series = AaCompressor(_eps_for(y)).compress(y)
+        benchmark(series.reconstruct)
+
+    def test_neats_l_reconstruct(self, benchmark, bench_datasets, dataset):
+        y = bench_datasets[dataset]
+        series = NeaTSLossy(_eps_for(y)).compress(y)
+        benchmark(series.reconstruct)

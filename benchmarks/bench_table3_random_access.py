@@ -1,0 +1,36 @@
+"""Table III (bottom) benchmark: random access speed.
+
+Reproduces the paper's key claim: NeaTS (and DAC/LeCo, the native-access
+schemes) answer point queries orders of magnitude faster than the block-wise
+compressors, which must decode a 1000-value block per access.
+"""
+
+import numpy as np
+import pytest
+
+QUERY_POSITIONS = None
+
+
+def _positions(n, count=200):
+    rng = np.random.default_rng(0)
+    return rng.integers(0, n, count).tolist()
+
+
+@pytest.mark.parametrize(
+    "name", ["Xz", "Zstd*", "Lz4*", "DAC", "LeCo", "ALP", "NeaTS"]
+)
+def test_random_access(benchmark, compressed_by_name, bench_series, name):
+    compressed = compressed_by_name[name]
+    positions = _positions(len(bench_series))
+
+    def run():
+        acc = 0
+        for k in positions:
+            acc ^= compressed.access(k)
+        return acc
+
+    benchmark(run)
+    # verify correctness outside the timed region
+    for k in positions[:16]:
+        assert compressed.access(k) == bench_series[k]
+    benchmark.extra_info["queries_per_round"] = len(positions)

@@ -1,0 +1,28 @@
+"""Table III (top) benchmark: lossless compression (ratio via extra_info).
+
+Each test compresses one dataset with one compressor from the paper's
+line-up; pytest-benchmark times the compression (the Figure 2 x-axis) and the
+achieved compression ratio is attached as ``extra_info`` (the Table III top
+panel).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.registry import make_compressor
+from repro.data import DATASETS
+
+COMPRESSORS = ["Xz", "Zstd*", "Lz4*", "Chimp128", "Chimp", "TSXor",
+               "DAC", "Gorilla", "LeCo", "ALP", "NeaTS"]
+
+
+@pytest.mark.parametrize("name", COMPRESSORS)
+def test_compression(benchmark, bench_series, name):
+    comp = make_compressor(name, digits=DATASETS["IT"].digits)
+    compressed = benchmark.pedantic(
+        lambda: comp.compress(bench_series), rounds=1, iterations=1
+    )
+    assert np.array_equal(compressed.decompress(), bench_series)
+    benchmark.extra_info["ratio_pct"] = round(
+        100 * compressed.size_bits() / (64 * len(bench_series)), 2
+    )

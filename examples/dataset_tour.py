@@ -1,0 +1,62 @@
+"""A mini Table III: NeaTS vs the strongest baselines on all 16 datasets.
+
+Runs the full dataset suite at a reduced scale and prints, per dataset, the
+compression ratio of NeaTS against the best special-purpose and the best
+general-purpose competitor — the summary view of the paper's headline
+result.  Expect a few minutes of runtime.
+
+Run with::
+
+    python examples/dataset_tour.py [n_points]
+"""
+
+import sys
+
+from repro.bench.registry import make_compressor
+from repro.data import DATASETS
+
+
+SPECIAL = ["Chimp128", "Chimp", "TSXor", "DAC", "Gorilla", "LeCo", "ALP"]
+GENERAL = ["Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"]
+
+
+def best_ratio(names, values, digits):
+    best_name, best_bits = None, None
+    for name in names:
+        bits = make_compressor(name, digits=digits).compress(values).size_bits()
+        if best_bits is None or bits < best_bits:
+            best_name, best_bits = name, bits
+    return best_name, best_bits / (64 * len(values))
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    wins_special = wins_overall = 0
+    print(f"{'dataset':<8} {'NeaTS':>8} {'best special':>20} "
+          f"{'best general':>20}")
+    print("-" * 60)
+    for name, info in DATASETS.items():
+        values = info.generate(min(n, info.default_n))
+        neats = make_compressor("NeaTS").compress(values)
+        neats_ratio = neats.compression_ratio()
+        sp_name, sp_ratio = best_ratio(SPECIAL, values, info.digits)
+        gp_name, gp_ratio = best_ratio(GENERAL, values, info.digits)
+        star = ""
+        if neats_ratio <= sp_ratio:
+            wins_special += 1
+            star = "*"
+        if neats_ratio <= min(sp_ratio, gp_ratio):
+            wins_overall += 1
+            star = "**"
+        print(
+            f"{name:<8} {100 * neats_ratio:7.2f}% "
+            f"{sp_name:>11} {100 * sp_ratio:7.2f}% "
+            f"{gp_name:>11} {100 * gp_ratio:7.2f}% {star}"
+        )
+    print("-" * 60)
+    print(f"NeaTS best among special-purpose: {wins_special}/16 "
+          f"(paper: 14/16); best overall: {wins_overall}/16 (paper: 4/16)")
+
+
+if __name__ == "__main__":
+    main()

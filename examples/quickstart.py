@@ -1,0 +1,57 @@
+"""Quickstart: compress a time series with NeaTS, query it, persist it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import NeaTS, NeaTSLossy
+from repro.core.storage import NeaTSStorage
+
+
+def main() -> None:
+    # A synthetic hourly temperature-like series (integers: NeaTS compresses
+    # fixed-precision decimals scaled to int64, see README).
+    rng = np.random.default_rng(7)
+    t = np.arange(20_000)  # one sample every 5 minutes
+    celsius = (
+        18
+        + 7 * np.sin(2 * np.pi * t / 288)          # daily cycle
+        + 5 * np.sin(2 * np.pi * t / (288 * 90))   # seasonal drift
+        + rng.normal(0, 0.15, len(t))              # sensor noise
+    )
+    values = np.round(celsius * 100).astype(np.int64)  # 2 decimal digits
+
+    # --- lossless compression -------------------------------------------------
+    compressed = NeaTS().compress(values)
+    print(f"points:            {len(values):,}")
+    print(f"original size:     {8 * len(values):,} bytes")
+    print(f"compressed size:   {compressed.size_bits() // 8:,} bytes")
+    print(f"compression ratio: {100 * compressed.compression_ratio():.2f}%")
+    print(f"fragments:         {compressed.num_fragments}")
+
+    # --- exact queries on compressed data ---------------------------------------
+    assert compressed.access(12_345) == values[12_345]
+    window = compressed.decompress_range(5_000, 5_024)  # one day
+    print(f"day mean at t=5000: {window.mean() / 100:.2f} C")
+    assert np.array_equal(compressed.decompress(), values)
+    print("lossless round-trip verified")
+
+    # --- persistence -----------------------------------------------------------
+    blob = compressed.storage.to_bytes()
+    restored = NeaTSStorage.from_bytes(blob)
+    assert restored.access(777) == values[777]
+    print(f"serialised to {len(blob):,} bytes and restored")
+
+    # --- lossy mode with an error guarantee --------------------------------------
+    lossy = NeaTSLossy(eps=50).compress(values)  # +-0.50 C guarantee
+    print(
+        f"lossy ratio at eps=0.5C: {100 * lossy.compression_ratio():.2f}% "
+        f"(measured max error {lossy.max_error(values) / 100:.2f} C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""IoT sensor archival: NeaTS vs streaming XOR compressors.
+
+The scenario from the paper's introduction: an edge gateway stores years of
+sensor history and must answer real-time dashboard queries (point reads,
+recent windows) *without* decompressing everything.  This example compares
+NeaTS with the streaming compressors typically used in TSDBs (Gorilla,
+Chimp) and with a strong general-purpose codec (Xz) on the three metrics
+that matter: space, point-query latency, and window-query latency.
+
+Run with::
+
+    python examples/sensor_monitoring.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.registry import make_compressor
+from repro.data import DATASETS
+
+
+def time_point_queries(compressed, positions):
+    t0 = time.perf_counter()
+    for k in positions:
+        compressed.access(k)
+    return (time.perf_counter() - t0) / len(positions)
+
+
+def time_window_queries(compressed, starts, width):
+    t0 = time.perf_counter()
+    for s in starts:
+        compressed.decompress_range(s, s + width)
+    return (time.perf_counter() - t0) / len(starts)
+
+
+def main() -> None:
+    info = DATASETS["IT"]  # infrared biological temperature
+    values = info.generate(20_000)
+    print(f"dataset: {info.full_name} ({len(values):,} points, "
+          f"{info.digits} decimal digits)\n")
+
+    rng = np.random.default_rng(0)
+    points = rng.integers(0, len(values), 300).tolist()
+    windows = rng.integers(0, len(values) - 288, 50).tolist()
+
+    header = (
+        f"{'compressor':<10} {'ratio':>8} {'point query':>14} {'24h window':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ("Gorilla", "Chimp", "Xz", "NeaTS"):
+        comp = make_compressor(name, digits=info.digits)
+        compressed = comp.compress(values)
+        ratio = compressed.size_bits() / (64 * len(values))
+        p_lat = time_point_queries(compressed, points)
+        w_lat = time_window_queries(compressed, windows, 288)  # 24h at 5min
+        print(
+            f"{name:<10} {100 * ratio:7.2f}% {1e6 * p_lat:11.1f} us "
+            f"{1e6 * w_lat:11.1f} us"
+        )
+
+    print(
+        "\nNeaTS: compression near the Xz class, point and window queries"
+        "\norders of magnitude closer to the native-access structures —"
+        "\nexactly the trade-off of the paper's Figure 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""NeaTS: learned compression of nonlinear time series with random access.
+
+A pure-Python reproduction of the ICDE 2025 paper, including the lossless
+NeaTS compressor (with LeaTS and SNeaTS variants), the lossy NeaTS-L, every
+baseline of the paper's evaluation, synthetic versions of its 16 datasets,
+and a benchmark harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import NeaTS
+>>> y = (100 * np.sin(np.arange(5000) / 50)).astype(np.int64)
+>>> c = NeaTS().compress(y)
+>>> bool(np.array_equal(c.decompress(), y))
+True
+"""
+
+from .core import (
+    CompressedSeries,
+    LossySeries,
+    NeaTS,
+    NeaTSLossy,
+    default_eps_set,
+)
+from .data import dataset_names, load
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NeaTS",
+    "NeaTSLossy",
+    "CompressedSeries",
+    "LossySeries",
+    "default_eps_set",
+    "load",
+    "dataset_names",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Every baseline compressor the paper evaluates against (§IV-A2)."""
+
+from .aa import AaCompressor, AaSeries
+from .alp import AlpCompressor
+from .base import Compressed, LosslessCompressor
+from .blockwise import BlockwiseCompressed, BlockwiseCompressor, ByteCompressor
+from .chimp import Chimp128Compressor, ChimpCompressor
+from .dac import DacCompressor
+from .general import (
+    GENERAL_PURPOSE,
+    BrotliLikeCompressor,
+    Lz4LikeCompressor,
+    SnappyLikeCompressor,
+    XzCompressor,
+    ZstdLikeCompressor,
+)
+from .gorilla import GorillaCompressor
+from .leco import LeCoCompressor
+from .pla import PlaCompressor, PlaSeries
+from .tsxor import TSXorCompressor
+
+__all__ = [
+    "Compressed",
+    "LosslessCompressor",
+    "BlockwiseCompressor",
+    "BlockwiseCompressed",
+    "ByteCompressor",
+    "XzCompressor",
+    "BrotliLikeCompressor",
+    "ZstdLikeCompressor",
+    "Lz4LikeCompressor",
+    "SnappyLikeCompressor",
+    "GENERAL_PURPOSE",
+    "GorillaCompressor",
+    "ChimpCompressor",
+    "Chimp128Compressor",
+    "TSXorCompressor",
+    "DacCompressor",
+    "LeCoCompressor",
+    "AlpCompressor",
+    "PlaCompressor",
+    "PlaSeries",
+    "AaCompressor",
+    "AaSeries",
+]

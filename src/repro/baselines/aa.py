@@ -1,0 +1,184 @@
+"""Adaptive Approximation (Xu et al., EDBT 2012; Qi et al., WWW 2015).
+
+The AA algorithm is the nonlinear lossy baseline of the paper (§IV-B).  It
+greedily grows a fragment while *any* of its candidate families — linear,
+quadratic, exponential, each anchored through the fragment's first data point
+with a single free parameter — still admits an ε-feasible parameter, and cuts
+the fragment when all of them fail.  Anchoring makes each family's feasible
+set a simple interval (intersected point by point), which is what makes AA
+fast but sub-optimal:
+
+* the anchor constraint wastes a degree of freedom (more fragments than the
+  optimal partition), and
+* the greedy cut is not globally optimal.
+
+Both weaknesses are visible in Table II, where AA loses to PLA on nearly all
+datasets despite using nonlinear functions — and that is precisely the gap
+NeaTS-L closes.  The anchor also makes many residuals exactly zero, which is
+why AA's MAPE is slightly *better* than NeaTS-L's (§IV-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.partition import FRAGMENT_OVERHEAD_BITS, PARAM_BITS
+from ..core.piecewise import mape, max_abs_error
+
+__all__ = ["AaCompressor", "AaSeries", "AaSegment"]
+
+_FAMILIES = ("linear", "quadratic", "exponential")
+
+
+@dataclass(frozen=True)
+class AaSegment:
+    """One AA fragment: family, anchor point, single free parameter."""
+
+    start: int
+    end: int
+    family: str
+    anchor: float
+    theta: float
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        """The anchored family evaluated at absolute positions ``xs``."""
+        dx = xs - (self.start + 1)
+        if self.family == "linear":
+            return self.anchor + self.theta * dx
+        if self.family == "quadratic":
+            return self.anchor + self.theta * dx * dx
+        if self.family == "exponential":
+            return self.anchor * np.exp(np.minimum(self.theta * dx, 700.0))
+        raise ValueError(f"unknown family {self.family!r}")
+
+
+class _Interval:
+    """A running intersection of feasible parameter intervals."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self) -> None:
+        self.lo = -math.inf
+        self.hi = math.inf
+
+    def clip(self, lo: float, hi: float) -> bool:
+        """Intersect with [lo, hi]; returns False when empty."""
+        self.lo = max(self.lo, lo)
+        self.hi = min(self.hi, hi)
+        return self.lo <= self.hi
+
+    def mid(self) -> float:
+        if self.lo == -math.inf and self.hi == math.inf:
+            return 0.0
+        if self.lo == -math.inf:
+            return self.hi
+        if self.hi == math.inf:
+            return self.lo
+        return (self.lo + self.hi) / 2.0
+
+
+def _family_bounds(
+    family: str, anchor: float, dx: float, z: float, eps: float
+) -> tuple[float, float] | None:
+    """Feasible θ interval contributed by one point, or None if impossible."""
+    if family == "linear":
+        return (z - anchor - eps) / dx, (z - anchor + eps) / dx
+    if family == "quadratic":
+        d2 = dx * dx
+        return (z - anchor - eps) / d2, (z - anchor + eps) / d2
+    if family == "exponential":
+        if anchor <= 0 or z - eps <= 0:
+            return None
+        return (
+            math.log((z - eps) / anchor) / dx,
+            math.log((z + eps) / anchor) / dx,
+        )
+    raise ValueError(family)
+
+
+@dataclass
+class AaSeries:
+    """The AA representation: a list of anchored one-parameter segments."""
+
+    segments: list[AaSegment]
+    n: int
+    eps: float
+    original_bits: int
+
+    def reconstruct(self) -> np.ndarray:
+        """Evaluate the approximation at every position."""
+        out = np.empty(self.n, dtype=np.float64)
+        for seg in self.segments:
+            xs = np.arange(seg.start + 1, seg.end + 1, dtype=np.float64)
+            out[seg.start : seg.end] = seg.evaluate(xs)
+        return out
+
+    def size_bits(self) -> int:
+        """Anchor + θ (two float64) plus metadata per segment."""
+        return len(self.segments) * (2 * PARAM_BITS + FRAGMENT_OVERHEAD_BITS) + 64 * 2
+
+    def compression_ratio(self) -> float:
+        """Compressed size / original size."""
+        return self.size_bits() / self.original_bits
+
+    def max_error(self, y: np.ndarray) -> float:
+        """Measured L∞ error against the original values."""
+        return max_abs_error(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+    def mape(self, y: np.ndarray) -> float:
+        """Mean Absolute Percentage Error (§IV-B)."""
+        return mape(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+    @property
+    def num_segments(self) -> int:
+        """Number of fragments."""
+        return len(self.segments)
+
+
+class AaCompressor:
+    """The Adaptive Approximation heuristic under an L∞ bound ``eps``."""
+
+    name = "AA"
+
+    def __init__(self, eps: float) -> None:
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.eps = float(eps)
+
+    def compress(self, values: np.ndarray) -> AaSeries:
+        """Greedy adaptive segmentation of an integer series."""
+        y = np.asarray(values, dtype=np.float64)
+        if len(y) == 0:
+            raise ValueError("cannot compress an empty series")
+        n = len(y)
+        eps = self.eps
+        segments: list[AaSegment] = []
+        start = 0
+        while start < n:
+            anchor = y[start]
+            intervals = {fam: _Interval() for fam in _FAMILIES}
+            alive = set(_FAMILIES)
+            last_params: dict[str, float] = {fam: 0.0 for fam in _FAMILIES}
+            last_alive_order: list[str] = list(_FAMILIES)
+            k = start + 1
+            while k < n and alive:
+                dx = float(k - start)
+                survivors = set()
+                for fam in alive:
+                    bounds = _family_bounds(fam, anchor, dx, y[k], eps)
+                    if bounds is not None and intervals[fam].clip(*bounds):
+                        survivors.add(fam)
+                        last_params[fam] = intervals[fam].mid()
+                if not survivors:
+                    break
+                alive = survivors
+                last_alive_order = [f for f in _FAMILIES if f in alive]
+                k += 1
+            family = last_alive_order[0]
+            theta = last_params[family] if k > start + 1 else 0.0
+            segments.append(AaSegment(start, k, family, anchor, theta))
+            start = k
+        return AaSeries(segments, n, eps, 64 * n)

@@ -1,0 +1,71 @@
+"""Common interface implemented by every lossless compressor in the repo.
+
+The benchmark harness (``repro.bench``) drives all 13 compressors — NeaTS,
+the 7 special-purpose and the 5 general-purpose baselines — through this
+interface, so each one reports compression ratio, decompression output,
+random access, and range queries the same way the paper measures them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Compressed", "LosslessCompressor"]
+
+
+class Compressed(ABC):
+    """A compressed time series supporting the paper's three operations."""
+
+    @abstractmethod
+    def size_bits(self) -> int:
+        """Total compressed size in bits (including access metadata)."""
+
+    @abstractmethod
+    def decompress(self) -> np.ndarray:
+        """The original int64 values."""
+
+    @abstractmethod
+    def access(self, k: int) -> int:
+        """The value at 0-based position ``k`` (random access)."""
+
+    def decompress_range(self, lo: int, hi: int) -> np.ndarray:
+        """Values at positions ``[lo, hi)``: random access + scan.
+
+        Subclasses override this when they can do better than a full
+        decompression; the fallback is correct but slow by design, mirroring
+        how compressors without random access behave.
+        """
+        return self.decompress()[lo:hi]
+
+    def size_bytes(self) -> int:
+        """Compressed size in bytes, rounded up."""
+        return (self.size_bits() + 7) // 8
+
+    def compression_ratio(self, n: int | None = None) -> float:
+        """Compressed bits / uncompressed bits (64 per value)."""
+        n = n if n is not None else len(self.decompress())
+        return self.size_bits() / (64 * n)
+
+
+class LosslessCompressor(ABC):
+    """A factory producing :class:`Compressed` objects from int64 arrays."""
+
+    #: display name used in benchmark tables
+    name: str = "?"
+    #: whether random access is native (no block-wise adapter involved)
+    native_random_access: bool = False
+
+    @abstractmethod
+    def compress(self, values: np.ndarray) -> Compressed:
+        """Compress a 1-D int64 array losslessly."""
+
+    @staticmethod
+    def _check_input(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("expected a 1-D array")
+        if len(values) == 0:
+            raise ValueError("cannot compress an empty series")
+        return values.astype(np.int64)

@@ -1,0 +1,156 @@
+"""Gorilla value compression (Pelkonen et al., VLDB 2015).
+
+The classic XOR scheme used by Facebook's in-memory TSDB: each value is XORed
+with its predecessor and the result is encoded with a control code exploiting
+leading/trailing zeros:
+
+* ``0``            — XOR is zero (value repeats);
+* ``10`` + bits    — the meaningful bits of the XOR fall inside the previous
+  meaningful-bit window: re-use that window, write only its bits;
+* ``11`` + 5-bit leading-zero count + 6-bit length + bits — a new window.
+
+Gorilla is the fastest-but-weakest point of the paper's trade-off plots
+(Figure 2/3: top-right corner, ratio above 70%).  Random access goes through
+the block-wise adapter like all XOR compressors (§IV-A2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bits import BitReader, BitWriter
+from .base import Compressed, LosslessCompressor
+from .blockwise import DEFAULT_BLOCK
+
+__all__ = ["GorillaCompressor", "gorilla_encode", "gorilla_decode"]
+
+_U64 = (1 << 64) - 1
+
+
+def _clz(x: int) -> int:
+    """Count of leading zeros in a 64-bit value (64 for x == 0)."""
+    return 64 - x.bit_length()
+
+
+def _ctz(x: int) -> int:
+    """Count of trailing zeros in a 64-bit value (64 for x == 0)."""
+    return (x & -x).bit_length() - 1 if x else 64
+
+
+def gorilla_encode(values: list[int], writer: BitWriter) -> None:
+    """Encode unsigned 64-bit ``values`` into ``writer``."""
+    first = values[0]
+    writer.write(first, 64)
+    prev = first
+    prev_lz = -1
+    prev_len = 0
+    for v in values[1:]:
+        xor = prev ^ v
+        prev = v
+        if xor == 0:
+            writer.write(0, 1)
+            continue
+        lz = min(_clz(xor), 31)
+        tz = _ctz(xor)
+        if (
+            prev_lz >= 0
+            and lz >= prev_lz
+            and 64 - tz <= prev_lz + prev_len
+        ):
+            # Meaningful bits fit in the previous window: control '10'.
+            writer.write(0b01, 2)  # LSB-first: reads as 1 then 0
+            writer.write(xor >> (64 - prev_lz - prev_len), prev_len)
+        else:
+            length = 64 - lz - tz
+            writer.write(0b11, 2)
+            writer.write(lz, 5)
+            writer.write(length - 1, 6)
+            writer.write(xor >> tz, length)
+            prev_lz = lz
+            prev_len = length
+
+
+def gorilla_decode(reader: BitReader, count: int) -> list[int]:
+    """Decode ``count`` unsigned 64-bit values from ``reader``."""
+    first = reader.read(64)
+    out = [first]
+    prev = first
+    prev_lz = 0
+    prev_len = 0
+    for _ in range(count - 1):
+        if not reader.read_bool():
+            out.append(prev)
+            continue
+        if reader.read_bool():
+            prev_lz = reader.read(5)
+            prev_len = reader.read(6) + 1
+        bits = reader.read(prev_len)
+        xor = bits << (64 - prev_lz - prev_len)
+        prev ^= xor
+        out.append(prev)
+    return out
+
+
+class _XorBlockCompressed(Compressed):
+    """Shared container for block-encoded XOR streams (Gorilla/Chimp/...)."""
+
+    def __init__(self, blocks, n, block_size, decode_fn):
+        self._blocks = blocks  # list of (words, bit_length, count)
+        self._n = n
+        self._block_size = block_size
+        self._decode = decode_fn
+
+    def size_bits(self) -> int:
+        payload = sum(bl for _, bl, _ in self._blocks)
+        return payload + 64 * (len(self._blocks) + 1)
+
+    def _decode_block(self, idx: int) -> list[int]:
+        words, bit_length, count = self._blocks[idx]
+        return self._decode(BitReader(words, bit_length), count)
+
+    def decompress(self) -> np.ndarray:
+        out = []
+        for idx in range(len(self._blocks)):
+            out.extend(self._decode_block(idx))
+        return np.array(out, dtype=np.uint64).astype(np.int64)
+
+    def access(self, k: int) -> int:
+        if not 0 <= k < self._n:
+            raise IndexError(k)
+        idx, off = divmod(k, self._block_size)
+        vals = self._decode_block(idx)
+        return int(np.uint64(vals[off]).astype(np.int64))
+
+    def decompress_range(self, lo: int, hi: int) -> np.ndarray:
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        first = lo // self._block_size
+        last = (hi - 1) // self._block_size if hi > lo else first
+        vals: list[int] = []
+        for idx in range(first, last + 1):
+            vals.extend(self._decode_block(idx))
+        base = first * self._block_size
+        arr = np.array(vals, dtype=np.uint64).astype(np.int64)
+        return arr[lo - base : hi - base]
+
+
+class GorillaCompressor(LosslessCompressor):
+    """Gorilla, applied block-wise for random access (paper §IV-A2)."""
+
+    name = "Gorilla"
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK) -> None:
+        self._block_size = block_size
+
+    def compress(self, values: np.ndarray) -> _XorBlockCompressed:
+        values = self._check_input(values)
+        unsigned = values.astype(np.uint64).tolist()
+        blocks = []
+        for start in range(0, len(unsigned), self._block_size):
+            chunk = unsigned[start : start + self._block_size]
+            writer = BitWriter()
+            gorilla_encode(chunk, writer)
+            blocks.append((writer.getbuffer(), writer.bit_length, len(chunk)))
+        return _XorBlockCompressed(
+            blocks, len(values), self._block_size, gorilla_decode
+        )

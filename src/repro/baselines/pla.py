@@ -1,0 +1,82 @@
+"""Optimal Piecewise Linear Approximation (O'Rourke 1981) — lossy baseline.
+
+This is the classic minimum-segment PLA under an L∞ bound: the exact
+algorithm the paper uses as its linear lossy baseline (§IV-B) and the
+starting point NeaTS generalises.  It reuses the same
+:class:`~repro.core.convex.RangeLineFitter` engine with the identity
+transform, so optimality (fewest segments) is inherited from Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.models import get_model
+from ..core.partition import FRAGMENT_OVERHEAD_BITS, PARAM_BITS
+from ..core.piecewise import mape, max_abs_error, piecewise_approximation
+
+__all__ = ["PlaCompressor", "PlaSeries"]
+
+
+@dataclass
+class PlaSeries:
+    """A piecewise linear ε-approximation with the minimum number of segments."""
+
+    segments: list  # list of FragmentFit
+    n: int
+    shift: int
+    eps: float
+    original_bits: int
+
+    def reconstruct(self) -> np.ndarray:
+        """Evaluate the approximation at every position (float64)."""
+        model = get_model("linear")
+        out = np.empty(self.n, dtype=np.float64)
+        for seg in self.segments:
+            xs = np.arange(seg.start + 1, seg.end + 1, dtype=np.float64)
+            out[seg.start : seg.end] = model.evaluate(seg.params, xs)
+        return out - self.shift
+
+    def size_bits(self) -> int:
+        """Two float64 parameters plus metadata per segment."""
+        return len(self.segments) * (2 * PARAM_BITS + FRAGMENT_OVERHEAD_BITS) + 64 * 2
+
+    def compression_ratio(self) -> float:
+        """Compressed size / original size."""
+        return self.size_bits() / self.original_bits
+
+    def max_error(self, y: np.ndarray) -> float:
+        """Measured L∞ error against the original values."""
+        return max_abs_error(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+    def mape(self, y: np.ndarray) -> float:
+        """Mean Absolute Percentage Error (§IV-B)."""
+        return mape(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+    @property
+    def num_segments(self) -> int:
+        """Number of linear pieces."""
+        return len(self.segments)
+
+
+class PlaCompressor:
+    """Minimum-segment PLA under an L∞ error bound ``eps``."""
+
+    name = "PLA"
+
+    def __init__(self, eps: float) -> None:
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.eps = float(eps)
+
+    def compress(self, values: np.ndarray) -> PlaSeries:
+        """Build the optimal PLA of an integer series."""
+        y = np.asarray(values, dtype=np.int64)
+        if len(y) == 0:
+            raise ValueError("cannot compress an empty series")
+        shift = 0  # linear fitting needs no positivity
+        z = y.astype(np.float64)
+        segments = piecewise_approximation(z, "linear", self.eps)
+        return PlaSeries(segments, len(y), shift, self.eps, 64 * len(y))

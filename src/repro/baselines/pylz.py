@@ -1,0 +1,96 @@
+"""PyLZ: a pure-Python byte-oriented LZ77 compressor (Lz4/Snappy stand-in).
+
+Lz4 and Snappy occupy the "very fast, modest ratio" corner of the paper's
+trade-off plots.  Neither is available offline, so PyLZ reproduces their
+essential design in plain Python: greedy hash-table matching over a sliding
+window with a byte-oriented token format (no entropy coding), which yields
+the same qualitative behaviour — much faster than Xz-class compressors and
+much weaker compression.
+
+Format
+------
+``varint(n)`` (uncompressed size) followed by sequences of
+``varint(literal_len) literals varint(match_len) varint(offset)``; the stream
+ends when the decoded output reaches ``n`` (a trailing sequence may omit the
+match).  Matches are at least :data:`MIN_MATCH` bytes.
+"""
+
+from __future__ import annotations
+
+from ..bits.codes import decode_varint, encode_varint
+
+__all__ = ["compress", "decompress", "MIN_MATCH"]
+
+MIN_MATCH = 8  # int64-friendly: one value
+
+
+def compress(data: bytes, acceleration: int = 1, window: int = 1 << 20) -> bytes:
+    """Greedy LZ77 parse of ``data``.
+
+    ``acceleration > 1`` skips ahead faster after missed matches (Snappy-like
+    speed/ratio trade), ``window`` bounds match offsets.
+    """
+    n = len(data)
+    out = bytearray()
+    encode_varint(n, out)
+    if n < MIN_MATCH:
+        encode_varint(n, out)
+        out += data
+        return bytes(out)
+
+    table: dict[bytes, int] = {}
+    i = 0
+    anchor = 0
+    misses = 0
+    limit = n - MIN_MATCH
+    while i <= limit:
+        key = data[i : i + MIN_MATCH]
+        cand = table.get(key, -1)
+        table[key] = i
+        if cand >= 0 and i - cand <= window and data[cand : cand + MIN_MATCH] == key:
+            j = i + MIN_MATCH
+            c = cand + MIN_MATCH
+            while j < n and data[j] == data[c]:
+                j += 1
+                c += 1
+            encode_varint(i - anchor, out)
+            out += data[anchor:i]
+            encode_varint(j - i, out)
+            encode_varint(i - cand, out)
+            i = j
+            anchor = j
+            misses = 0
+        else:
+            misses += 1
+            i += 1 + (misses >> 5) * acceleration
+    if anchor < n:
+        encode_varint(n - anchor, out)
+        out += data[anchor:]
+    return bytes(out)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    n, pos = decode_varint(blob, 0)
+    out = bytearray()
+    size = len(blob)
+    while len(out) < n:
+        lit, pos = decode_varint(blob, pos)
+        if lit:
+            out += blob[pos : pos + lit]
+            pos += lit
+        if len(out) >= n or pos >= size:
+            break
+        mlen, pos = decode_varint(blob, pos)
+        off, pos = decode_varint(blob, pos)
+        if off <= 0 or off > len(out):
+            raise ValueError("corrupt PyLZ stream: bad offset")
+        start = len(out) - off
+        if off >= mlen:
+            out += out[start : start + mlen]
+        else:
+            for k in range(mlen):  # overlapping copy
+                out.append(out[start + k])
+    if len(out) != n:
+        raise ValueError(f"corrupt PyLZ stream: got {len(out)} of {n} bytes")
+    return bytes(out)

@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from .evaluation import (
+    EvaluationResult,
+    render_fig2,
+    render_fig3,
+    render_table3,
+    run_evaluation,
+)
+from .fig4 import Fig4Result, render_fig4, run_fig4
+from .measure import (
+    CompressorStats,
+    measure_lossless,
+    measure_random_access,
+    measure_range_throughput,
+)
+from .registry import ALL_NAMES, make_compressor
+from .table2 import Table2Row, calibrate_eps, render_table2, run_table2
+
+__all__ = [
+    "run_table2",
+    "render_table2",
+    "Table2Row",
+    "calibrate_eps",
+    "run_evaluation",
+    "render_table3",
+    "render_fig2",
+    "render_fig3",
+    "EvaluationResult",
+    "run_fig4",
+    "render_fig4",
+    "Fig4Result",
+    "CompressorStats",
+    "measure_lossless",
+    "measure_random_access",
+    "measure_range_throughput",
+    "ALL_NAMES",
+    "make_compressor",
+]

@@ -1,0 +1,169 @@
+"""The full lossless evaluation: Table III and Figures 2-3 share these runs.
+
+Running every compressor on every dataset is the expensive part, so the
+result object caches all measurements; the table and figure renderers then
+slice it without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import DATASETS
+from .measure import CompressorStats, measure_lossless, measure_random_access
+from .registry import ALL_NAMES, make_compressor
+from .render import render_scatter, render_table
+
+__all__ = [
+    "EvaluationResult",
+    "run_evaluation",
+    "render_table3",
+    "render_fig2",
+    "render_fig3",
+]
+
+
+@dataclass
+class EvaluationResult:
+    """All measurements for a set of datasets × compressors."""
+
+    stats: dict[str, dict[str, CompressorStats]] = field(default_factory=dict)
+    datasets: list[str] = field(default_factory=list)
+    compressors: list[str] = field(default_factory=list)
+
+    def average(self, metric: str) -> dict[str, float]:
+        """Average a :class:`CompressorStats` property across datasets."""
+        out = {}
+        for comp in self.compressors:
+            vals = [
+                getattr(self.stats[ds][comp], metric)
+                for ds in self.datasets
+                if comp in self.stats[ds]
+            ]
+            out[comp] = float(np.mean(vals)) if vals else float("nan")
+        return out
+
+
+def run_evaluation(
+    datasets: list[str] | None = None,
+    compressors: list[str] | None = None,
+    n: int | None = None,
+    access_queries: int = 500,
+    include_variants: bool = False,
+    verbose: bool = True,
+) -> EvaluationResult:
+    """Measure ratio, speeds, and random access for the whole line-up."""
+    datasets = datasets or list(DATASETS)
+    compressors = list(compressors or ALL_NAMES)
+    if include_variants:
+        for extra in ("LeaTS", "SNeaTS"):
+            if extra not in compressors:
+                compressors.append(extra)
+
+    result = EvaluationResult(datasets=datasets, compressors=compressors)
+    for ds in datasets:
+        info = DATASETS[ds]
+        y = info.generate(n)
+        result.stats[ds] = {}
+        for comp_name in compressors:
+            comp = make_compressor(comp_name, digits=info.digits)
+            stats = measure_lossless(comp, y, dataset=ds)
+            compressed = stats.extras.pop("compressed")
+            stats.access_seconds_per_query = measure_random_access(
+                compressed, y, queries=access_queries
+            )
+            result.stats[ds][comp_name] = stats
+            if verbose:
+                print(
+                    f"  [{ds}] {comp_name:10s} ratio {stats.ratio_pct:6.2f}%  "
+                    f"comp {stats.compress_mb_s:8.3f} MB/s  "
+                    f"dec {stats.decompress_mb_s:8.2f} MB/s  "
+                    f"ra {stats.access_mb_s:8.3f} MB/s"
+                )
+    return result
+
+
+def _table_for_metric(
+    result: EvaluationResult, metric: str, fmt: str, title: str, best: str
+) -> str:
+    headers = ["Dataset"] + result.compressors
+    rows = []
+    highlight = {}
+    for r_idx, ds in enumerate(result.datasets):
+        row = [ds]
+        vals = []
+        for comp in result.compressors:
+            v = getattr(result.stats[ds][comp], metric)
+            vals.append(v)
+            row.append(fmt % v)
+        chooser = min if best == "min" else max
+        best_idx = vals.index(chooser(vals))
+        highlight[(r_idx, best_idx + 1)] = "*"
+        rows.append(row)
+    return render_table(headers, rows, title=title, highlight=highlight)
+
+
+def render_table3(result: EvaluationResult) -> str:
+    """The three panels of Table III (best value per row marked ``*``)."""
+    parts = [
+        _table_for_metric(
+            result, "ratio_pct", "%.2f",
+            "Table III (top): compression ratio (%)", "min",
+        ),
+        _table_for_metric(
+            result, "decompress_mb_s", "%.2f",
+            "Table III (middle): decompression speed (MB/s)", "max",
+        ),
+        _table_for_metric(
+            result, "access_mb_s", "%.3f",
+            "Table III (bottom): random access speed (MB/s)", "max",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def render_fig2(result: EvaluationResult) -> str:
+    """Figure 2: compression ratio vs compression speed (averages)."""
+    ratios = result.average("ratio_pct")
+    speeds = result.average("compress_mb_s")
+    points = {c: (ratios[c], speeds[c]) for c in result.compressors}
+    plot = render_scatter(
+        points,
+        xlabel="compression ratio (%)",
+        ylabel="compression speed (MB/s, log)",
+        title="Figure 2: ratio vs compression speed (averaged over datasets)",
+        log_y=True,
+    )
+    listing = "\n".join(
+        f"  {c:10s} ratio {ratios[c]:6.2f}%  speed {speeds[c]:10.4f} MB/s"
+        for c in sorted(result.compressors, key=lambda c: ratios[c])
+    )
+    return plot + "\n" + listing
+
+
+def render_fig3(result: EvaluationResult) -> str:
+    """Figure 3: ratio vs decompression speed and vs random access speed."""
+    ratios = result.average("ratio_pct")
+    dec = result.average("decompress_mb_s")
+    acc = result.average("access_mb_s")
+    left = render_scatter(
+        {c: (ratios[c], dec[c]) for c in result.compressors},
+        xlabel="compression ratio (%)",
+        ylabel="decompression speed (MB/s)",
+        title="Figure 3 (left): ratio vs decompression speed",
+    )
+    right = render_scatter(
+        {c: (ratios[c], acc[c]) for c in result.compressors},
+        xlabel="compression ratio (%)",
+        ylabel="random access speed (MB/s, log)",
+        title="Figure 3 (right): ratio vs random access speed",
+        log_y=True,
+    )
+    listing = "\n".join(
+        f"  {c:10s} ratio {ratios[c]:6.2f}%  dec {dec[c]:9.2f} MB/s  "
+        f"ra {acc[c]:8.3f} MB/s"
+        for c in sorted(result.compressors, key=lambda c: ratios[c])
+    )
+    return left + "\n\n" + right + "\n" + listing

@@ -1,0 +1,115 @@
+"""The compressor line-up of the paper's evaluation (§IV-A2).
+
+Factories take the dataset's decimal ``digits`` (only ALP uses it) and return
+a fresh compressor.  Order matches Table III: 5 general-purpose, then the
+special-purpose family with NeaTS last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    AlpCompressor,
+    BrotliLikeCompressor,
+    Chimp128Compressor,
+    ChimpCompressor,
+    DacCompressor,
+    GorillaCompressor,
+    LeCoCompressor,
+    Lz4LikeCompressor,
+    SnappyLikeCompressor,
+    TSXorCompressor,
+    XzCompressor,
+    ZstdLikeCompressor,
+)
+from ..baselines.base import LosslessCompressor
+from ..core import NeaTS
+
+__all__ = [
+    "NeaTSCompressor",
+    "LeaTSCompressor",
+    "SNeaTSCompressor",
+    "GENERAL_NAMES",
+    "SPECIAL_NAMES",
+    "ALL_NAMES",
+    "make_compressor",
+]
+
+
+class NeaTSCompressor(LosslessCompressor):
+    """Adapter presenting :class:`~repro.core.NeaTS` as a baseline-style compressor."""
+
+    name = "NeaTS"
+    native_random_access = True
+
+    def __init__(self, **kwargs) -> None:
+        self._inner = NeaTS(**kwargs)
+
+    def compress(self, values: np.ndarray):
+        return self._inner.compress(self._check_input(values))
+
+
+class LeaTSCompressor(NeaTSCompressor):
+    """LeaTS: the linear-only variant (§IV-C1)."""
+
+    name = "LeaTS"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("models", ("linear",))
+        super().__init__(**kwargs)
+
+
+class SNeaTSCompressor(LosslessCompressor):
+    """SNeaTS: model selection on the first 10% of the series (§IV-C1)."""
+
+    name = "SNeaTS"
+    native_random_access = True
+
+    def __init__(self, **kwargs) -> None:
+        self._inner = NeaTS.with_model_selection(**kwargs)
+
+    def compress(self, values: np.ndarray):
+        return self._inner.compress(self._check_input(values))
+
+
+GENERAL_NAMES = ["Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"]
+SPECIAL_NAMES = [
+    "Chimp128",
+    "Chimp",
+    "TSXor",
+    "DAC",
+    "Gorilla",
+    "LeCo",
+    "ALP",
+    "NeaTS",
+]
+ALL_NAMES = GENERAL_NAMES + SPECIAL_NAMES
+
+_FACTORIES = {
+    "Xz": lambda digits: XzCompressor(),
+    "Brotli*": lambda digits: BrotliLikeCompressor(),
+    "Zstd*": lambda digits: ZstdLikeCompressor(),
+    "Lz4*": lambda digits: Lz4LikeCompressor(),
+    "Snappy*": lambda digits: SnappyLikeCompressor(),
+    "Chimp128": lambda digits: Chimp128Compressor(),
+    "Chimp": lambda digits: ChimpCompressor(),
+    "TSXor": lambda digits: TSXorCompressor(),
+    "DAC": lambda digits: DacCompressor(),
+    "Gorilla": lambda digits: GorillaCompressor(),
+    "LeCo": lambda digits: LeCoCompressor(),
+    "ALP": lambda digits: AlpCompressor(digits=digits),
+    "NeaTS": lambda digits: NeaTSCompressor(),
+    "LeaTS": lambda digits: LeaTSCompressor(),
+    "SNeaTS": lambda digits: SNeaTSCompressor(),
+}
+
+
+def make_compressor(name: str, digits: int = 0):
+    """Instantiate a compressor from the Table III line-up by name."""
+    try:
+        return _FACTORIES[name](digits)
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; known: {', '.join(_FACTORIES)}"
+        ) from None

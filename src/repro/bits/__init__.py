@@ -1,0 +1,35 @@
+"""Succinct data structures and bit-level I/O (the paper's sdsl/sux substrate)."""
+
+from .bitvector import BitVector
+from .codes import (
+    decode_varint,
+    encode_varint,
+    read_delta,
+    read_gamma,
+    write_delta,
+    write_gamma,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .eliasfano import EliasFano
+from .io import BitReader, BitWriter
+from .packed import PackedArray, min_width
+from .wavelet import WaveletTree
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "BitVector",
+    "EliasFano",
+    "PackedArray",
+    "WaveletTree",
+    "min_width",
+    "zigzag_encode",
+    "zigzag_decode",
+    "write_gamma",
+    "read_gamma",
+    "write_delta",
+    "read_delta",
+    "encode_varint",
+    "decode_varint",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface: compress, decompress, and inspect time series.
+
+Usage::
+
+    python -m repro compress   input.csv  output.neats  --digits 2
+    python -m repro decompress output.neats restored.csv
+    python -m repro info       output.neats
+    python -m repro access     output.neats 12345
+    python -m repro generate   IT out.csv --n 10000
+
+CSV files hold one fixed-precision decimal per line (the paper's dataset
+interchange format); ``--digits`` controls the decimal scaling of §II.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .core import NeaTS
+from .core.storage import NeaTSStorage
+from .data import DATASETS, load, read_csv, write_csv
+
+__all__ = ["main"]
+
+_FILE_MAGIC = b"NTSF0001"
+
+
+def _write_archive(path: Path, storage: NeaTSStorage, digits: int) -> None:
+    payload = storage.to_bytes()
+    with path.open("wb") as fh:
+        fh.write(_FILE_MAGIC)
+        fh.write(struct.pack("<i", digits))
+        fh.write(payload)
+
+
+def _read_archive(path: Path) -> tuple[NeaTSStorage, int]:
+    data = Path(path).read_bytes()
+    if data[:8] != _FILE_MAGIC:
+        raise ValueError(f"{path}: not a NeaTS archive")
+    (digits,) = struct.unpack_from("<i", data, 8)
+    return NeaTSStorage.from_bytes(data[12:]), digits
+
+
+def _cmd_compress(args) -> int:
+    values = read_csv(args.input, args.digits)
+    t0 = time.perf_counter()
+    compressor = NeaTS(
+        models=tuple(args.models.split(",")) if args.models else
+        ("linear", "exponential", "quadratic", "radical"),
+        rank_mode=args.rank_mode,
+    )
+    compressed = compressor.compress(values)
+    elapsed = time.perf_counter() - t0
+    _write_archive(Path(args.output), compressed.storage, args.digits)
+    raw = 8 * len(values)
+    size = Path(args.output).stat().st_size
+    print(f"{len(values):,} values -> {size:,} bytes "
+          f"({100 * size / raw:.2f}% of raw) in {elapsed:.2f}s, "
+          f"{compressed.num_fragments} fragments")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    storage, digits = _read_archive(Path(args.input))
+    values = storage.decompress()
+    write_csv(args.output, values, digits)
+    print(f"restored {len(values):,} values to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    storage, digits = _read_archive(Path(args.input))
+    print(f"values:        {storage.n:,}")
+    print(f"fragments:     {storage.m:,}")
+    print(f"decimal digits: {digits}")
+    print(f"model kinds:   {', '.join(storage.model_names)}")
+    print(f"rank mode:     {storage.rank_mode}")
+    print(f"size:          {storage.size_bytes():,} bytes "
+          f"({100 * storage.size_bits() / (64 * storage.n):.2f}% of raw)")
+    widths = storage._widths_list
+    print(f"correction widths: min {min(widths)} / max {max(widths)} bits")
+    return 0
+
+
+def _cmd_access(args) -> int:
+    storage, digits = _read_archive(Path(args.input))
+    for k in args.positions:
+        if not 0 <= k < storage.n:
+            print(f"position {k}: out of range [0, {storage.n})",
+                  file=sys.stderr)
+            return 1
+        value = storage.access(k)
+        print(f"[{k}] {value / 10**digits:.{digits}f}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    values = load(args.dataset, n=args.n)
+    digits = DATASETS[args.dataset].digits
+    write_csv(args.output, values, digits)
+    print(f"wrote {len(values):,} values of {args.dataset} "
+          f"({digits} digits) to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NeaTS time series compression (ICDE 2025 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="CSV -> NeaTS archive")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--digits", type=int, default=0,
+                   help="fractional decimal digits of the input values")
+    p.add_argument("--models", default=None,
+                   help="comma-separated model kinds (default: paper's four)")
+    p.add_argument("--rank-mode", choices=("ef", "bitvector"), default="ef")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="NeaTS archive -> CSV")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("info", help="describe a NeaTS archive")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("access", help="random access into an archive")
+    p.add_argument("input")
+    p.add_argument("positions", type=int, nargs="+")
+    p.set_defaults(func=_cmd_access)
+
+    p = sub.add_parser("generate", help="emit a synthetic dataset as CSV")
+    p.add_argument("dataset", choices=list(DATASETS))
+    p.add_argument("output")
+    p.add_argument("--n", type=int, default=None)
+    p.set_defaults(func=_cmd_generate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Aggregate queries over NeaTS-compressed data (paper §VI, future work).
+
+The paper suggests "exploiting the information encoded by the functions to
+efficiently answer aggregate queries".  This module implements that idea:
+
+* **Exact sums** in O(fragments touched) instead of O(points): at build time
+  we store, per fragment, the sum of its decoded values (function floor plus
+  correction); a range sum then decodes only the two *boundary* fragments and
+  reads the precomputed sums of the interior ones.
+* **Bounded min/max/avg** without decoding at all: every fragment's function
+  is monotone-friendly and its corrections are bounded by its ε, so
+  ``f(range) ± ε`` brackets the true extrema.  The index returns an interval
+  that is guaranteed to contain the exact answer — often enough for
+  dashboards and anomaly thresholds, at zero decode cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .storage import NeaTSStorage
+
+__all__ = ["AggregateIndex", "Bounds"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A certified interval containing the exact answer."""
+
+    low: float
+    high: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low - 1e-9 <= value <= self.high + 1e-9
+
+    @property
+    def width(self) -> float:
+        """Tightness of the bracket."""
+        return self.high - self.low
+
+
+class AggregateIndex:
+    """Per-fragment aggregate summaries over a :class:`NeaTSStorage`.
+
+    Construction decodes the series once (O(n)); afterwards every range sum
+    costs O(points in the two boundary fragments + fragments spanned), and
+    min/max bounds cost O(fragments spanned) with no decoding.
+    """
+
+    def __init__(self, storage: NeaTSStorage) -> None:
+        self._storage = storage
+        m = storage.m
+        sums = np.zeros(m, dtype=np.int64)
+        mins = np.zeros(m, dtype=np.int64)
+        maxs = np.zeros(m, dtype=np.int64)
+        for i in range(m):
+            start = storage._starts_list[i]
+            end = storage._starts_list[i + 1] if i + 1 < m else storage.n
+            chunk = storage.decompress_range(start, end)
+            sums[i] = chunk.sum()
+            mins[i] = chunk.min()
+            maxs[i] = chunk.max()
+        self._sums = sums
+        self._mins = mins
+        self._maxs = maxs
+        # Prefix sums let interior runs collapse to one subtraction.
+        self._prefix = np.concatenate([[0], np.cumsum(sums)])
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fragment_bounds(self, i: int) -> tuple[int, int]:
+        storage = self._storage
+        start = storage._starts_list[i]
+        end = storage._starts_list[i + 1] if i + 1 < storage.m else storage.n
+        return start, end
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not 0 <= lo <= hi <= self._storage.n:
+            raise IndexError(f"range [{lo}, {hi}) out of bounds")
+
+    # -- exact aggregates ----------------------------------------------------------
+
+    def sum(self, lo: int, hi: int) -> int:
+        """Exact sum of values in positions ``[lo, hi)``."""
+        self._check_range(lo, hi)
+        if lo == hi:
+            return 0
+        storage = self._storage
+        first = storage.fragment_index(lo)
+        last = storage.fragment_index(hi - 1)
+        f_start, f_end = self._fragment_bounds(first)
+        if first == last:
+            if lo == f_start and hi == f_end:
+                return int(self._sums[first])
+            return int(storage.decompress_range(lo, hi).sum())
+        total = 0
+        # Left boundary fragment (possibly partial).
+        if lo == f_start:
+            total += int(self._sums[first])
+        else:
+            total += int(storage.decompress_range(lo, f_end).sum())
+        # Interior fragments: one prefix-sum subtraction.
+        total += int(self._prefix[last] - self._prefix[first + 1])
+        # Right boundary fragment (possibly partial).
+        l_start, l_end = self._fragment_bounds(last)
+        if hi == l_end:
+            total += int(self._sums[last])
+        else:
+            total += int(storage.decompress_range(l_start, hi).sum())
+        return total
+
+    def mean(self, lo: int, hi: int) -> float:
+        """Exact mean of values in positions ``[lo, hi)``."""
+        self._check_range(lo, hi)
+        if lo == hi:
+            raise ValueError("mean of an empty range")
+        return self.sum(lo, hi) / (hi - lo)
+
+    # -- certified bounds (no decoding) ------------------------------------------
+
+    def min_bounds(self, lo: int, hi: int) -> Bounds:
+        """An interval certified to contain ``min(values[lo:hi])``.
+
+        Whole fragments contribute their exact min; a partial boundary
+        fragment contributes its fragment-level min as a *lower* bound and
+        its decoded boundary min would be exact — we stay decode-free, so the
+        upper end uses the fragment max (the partial min can't exceed it).
+        """
+        self._check_range(lo, hi)
+        if lo == hi:
+            raise ValueError("bounds of an empty range")
+        low, high = None, None
+        storage = self._storage
+        first = storage.fragment_index(lo)
+        last = storage.fragment_index(hi - 1)
+        for i in range(first, last + 1):
+            f_start, f_end = self._fragment_bounds(i)
+            whole = lo <= f_start and f_end <= hi
+            lo_i = int(self._mins[i])
+            hi_i = int(self._mins[i]) if whole else int(self._maxs[i])
+            low = lo_i if low is None else min(low, lo_i)
+            high = hi_i if high is None else min(high, hi_i)
+        return Bounds(float(low), float(high))
+
+    def max_bounds(self, lo: int, hi: int) -> Bounds:
+        """An interval certified to contain ``max(values[lo:hi])``."""
+        self._check_range(lo, hi)
+        if lo == hi:
+            raise ValueError("bounds of an empty range")
+        low, high = None, None
+        storage = self._storage
+        first = storage.fragment_index(lo)
+        last = storage.fragment_index(hi - 1)
+        for i in range(first, last + 1):
+            f_start, f_end = self._fragment_bounds(i)
+            whole = lo <= f_start and f_end <= hi
+            hi_i = int(self._maxs[i])
+            lo_i = int(self._maxs[i]) if whole else int(self._mins[i])
+            low = lo_i if low is None else max(low, lo_i)
+            high = hi_i if high is None else max(high, hi_i)
+        return Bounds(float(low), float(high))
+
+    def size_bits(self) -> int:
+        """Extra space of the aggregate summaries (3 int64 per fragment)."""
+        return 3 * 64 * self._storage.m + 64

@@ -1,0 +1,248 @@
+"""O'Rourke's online algorithm for fitting a line through vertical ranges.
+
+This module is the computational engine behind Theorem 1 of the paper.  After
+the per-model change of variables (Table I), *every* supported function kind
+reduces to the same geometric problem: given points arriving online with
+strictly increasing abscissae ``t_k`` and vertical feasibility ranges
+``[lo_k, hi_k]``, maintain whether a single line ``b(t) = m*t + q`` exists
+with ``lo_k <= m*t_k + q <= hi_k`` for all points seen so far, and report one
+such ``(m, q)`` when asked.
+
+The feasible set of ``(m, q)`` pairs is a convex polygon; O'Rourke [36] showed
+it can be maintained in amortised O(1) per point because each new point only
+clips the polygon with two half-planes whose slopes are more extreme than all
+previous ones.  We implement the equivalent *primal* formulation popularised
+by the PGM-index: two convex hulls (of the lower and upper range endpoints)
+plus the current extreme-slope supporting pairs, stored as the four corners of
+the feasible "rectangle".
+
+All arithmetic is float64.  The caller (``repro.core.models``) is responsible
+for providing transformed coordinates; the encoder re-validates residuals, so
+a borderline accept/reject here affects only optimality by a hair, never
+correctness of the compressed output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RangeLineFitter"]
+
+
+def _cross(ox: float, oy: float, ax: float, ay: float, bx: float, by: float) -> float:
+    """Z component of (A - O) x (B - O)."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+def _slope_lt(ax: float, ay: float, bx: float, by: float) -> bool:
+    """Compare slopes of two vectors with positive dx: a.dy/a.dx < b.dy/b.dx."""
+    return ay * bx < by * ax
+
+
+class RangeLineFitter:
+    """Incrementally decide whether a line stabs all vertical ranges so far.
+
+    Usage::
+
+        fitter = RangeLineFitter()
+        while fitter.add(t, lo, hi):
+            ...                       # range accepted, extend the fragment
+        m, q = fitter.line()          # a feasible line for the accepted ranges
+
+    ``add`` returns ``False`` (and leaves the state untouched) when no line
+    can stab the new range together with all previously accepted ones; the
+    caller then closes the current fragment and starts a new fitter.
+    """
+
+    __slots__ = (
+        "_upper",
+        "_lower",
+        "_upper_start",
+        "_lower_start",
+        "_rect",
+        "_count",
+        "_last_t",
+    )
+
+    def __init__(self) -> None:
+        self._upper: list[tuple[float, float]] = []
+        self._lower: list[tuple[float, float]] = []
+        self._upper_start = 0
+        self._lower_start = 0
+        # Corners of the feasible region in primal space:
+        # rect[0]-rect[2] realise the minimum slope, rect[1]-rect[3] the max.
+        self._rect: list[tuple[float, float]] = [(0.0, 0.0)] * 4
+        self._count = 0
+        self._last_t = float("-inf")
+
+    @property
+    def count(self) -> int:
+        """Number of ranges accepted so far."""
+        return self._count
+
+    def add(self, t: float, lo: float, hi: float) -> bool:
+        """Try to extend the feasible set with the range ``[lo, hi]`` at ``t``.
+
+        Returns ``True`` if a stabbing line still exists (range accepted).
+        ``t`` must be strictly larger than every previously accepted abscissa.
+        """
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}] at t={t}")
+        if self._count and t <= self._last_t:
+            raise ValueError("abscissae must be strictly increasing")
+
+        p_hi = (t, hi)
+        p_lo = (t, lo)
+
+        if self._count == 0:
+            self._rect[0] = p_hi
+            self._rect[1] = p_lo
+            self._upper = [p_hi]
+            self._lower = [p_lo]
+            self._upper_start = self._lower_start = 0
+            self._count = 1
+            self._last_t = t
+            return True
+
+        if self._count == 1:
+            self._rect[2] = p_lo
+            self._rect[3] = p_hi
+            self._upper.append(p_hi)
+            self._lower.append(p_lo)
+            self._count = 2
+            self._last_t = t
+            return True
+
+        r0, r1, r2, r3 = self._rect
+        slope1 = (r2[0] - r0[0], r2[1] - r0[1])  # min slope
+        slope2 = (r3[0] - r1[0], r3[1] - r1[1])  # max slope
+
+        # The new upper endpoint must lie above the min-slope line; the new
+        # lower endpoint must lie below the max-slope line.  Otherwise the
+        # feasible polygon would become empty.
+        outside_low = _slope_lt(p_hi[0] - r2[0], p_hi[1] - r2[1], *slope1)
+        outside_high = _slope_lt(*slope2, p_lo[0] - r3[0], p_lo[1] - r3[1])
+        if outside_low or outside_high:
+            return False
+
+        # Does the upper endpoint sharpen the max slope?
+        if _slope_lt(p_hi[0] - r1[0], p_hi[1] - r1[1], *slope2):
+            # Find the lower-hull point that, paired with p_hi, minimises the
+            # slope; this becomes the new max-slope support.
+            lo_hull = self._lower
+            i = self._lower_start
+            best = i
+            bx = lo_hull[i][0] - p_hi[0]
+            by = lo_hull[i][1] - p_hi[1]
+            for j in range(i + 1, len(lo_hull)):
+                cx = lo_hull[j][0] - p_hi[0]
+                cy = lo_hull[j][1] - p_hi[1]
+                if _slope_lt(bx, by, cx, cy):
+                    break
+                bx, by = cx, cy
+                best = j
+            self._rect[1] = lo_hull[best]
+            self._rect[3] = p_hi
+            self._lower_start = best
+            # Maintain the upper hull with p_hi.
+            hull = self._upper
+            end = len(hull)
+            while (
+                end >= self._upper_start + 2
+                and _cross(*hull[end - 2], *hull[end - 1], *p_hi) <= 0
+            ):
+                end -= 1
+            del hull[end:]
+            hull.append(p_hi)
+
+        # Does the lower endpoint sharpen the min slope?
+        r0, r1, r2, r3 = self._rect
+        slope1 = (r2[0] - r0[0], r2[1] - r0[1])
+        if _slope_lt(*slope1, p_lo[0] - r0[0], p_lo[1] - r0[1]):
+            up_hull = self._upper
+            i = self._upper_start
+            best = i
+            bx = up_hull[i][0] - p_lo[0]
+            by = up_hull[i][1] - p_lo[1]
+            for j in range(i + 1, len(up_hull)):
+                cx = up_hull[j][0] - p_lo[0]
+                cy = up_hull[j][1] - p_lo[1]
+                if _slope_lt(cx, cy, bx, by):
+                    break
+                bx, by = cx, cy
+                best = j
+            self._rect[0] = up_hull[best]
+            self._rect[2] = p_lo
+            self._upper_start = best
+            hull = self._lower
+            end = len(hull)
+            while (
+                end >= self._lower_start + 2
+                and _cross(*hull[end - 2], *hull[end - 1], *p_lo) >= 0
+            ):
+                end -= 1
+            del hull[end:]
+            hull.append(p_lo)
+
+        self._count += 1
+        self._last_t = t
+        return True
+
+    def line(self) -> tuple[float, float]:
+        """Return a feasible ``(slope, intercept)`` for all accepted ranges.
+
+        With two or more points, we return the line through the intersection
+        of the two extreme-slope supports with the average extreme slope: a
+        point strictly inside the feasible polygon, which maximises the float
+        safety margin on both sides.
+        """
+        if self._count == 0:
+            raise ValueError("no ranges accepted")
+        if self._count == 1:
+            t, hi = self._rect[0]
+            _, lo = self._rect[1]
+            return 0.0, (hi + lo) / 2.0
+
+        r0, r1, r2, r3 = self._rect
+        min_dx = r2[0] - r0[0]
+        min_dy = r2[1] - r0[1]
+        max_dx = r3[0] - r1[0]
+        max_dy = r3[1] - r1[1]
+        # Degenerate supports: at extreme value scales float rounding can
+        # collapse a diagonal onto a single abscissa (dx == 0).  Fall back to
+        # the other support's slope anchored at the pinch midpoint — the
+        # encoder re-measures residuals, so a slightly suboptimal line only
+        # costs bits, never correctness.
+        if min_dx == 0.0 and max_dx == 0.0:
+            return 0.0, (r0[1] + r2[1]) / 2.0
+        if min_dx == 0.0:
+            slope = max_dy / max_dx
+            return slope, (r0[1] + r2[1]) / 2.0 - slope * r0[0]
+        if max_dx == 0.0:
+            slope = min_dy / min_dx
+            return slope, (r1[1] + r3[1]) / 2.0 - slope * r1[0]
+        min_slope = min_dy / min_dx
+        max_slope = max_dy / max_dx
+        slope = (min_slope + max_slope) / 2.0
+
+        # Intersection of the two diagonal support lines.
+        denom = min_dx * max_dy - min_dy * max_dx
+        if abs(denom) < 1e-300:
+            # Parallel supports: the polygon is (numerically) a segment; any
+            # support point works.
+            px, py = r0
+        else:
+            s = ((r1[0] - r0[0]) * max_dy - (r1[1] - r0[1]) * max_dx) / denom
+            px = r0[0] + s * min_dx
+            py = r0[1] + s * min_dy
+        return slope, py - slope * px
+
+    def slope_range(self) -> tuple[float, float]:
+        """The current feasible slope interval ``[min_slope, max_slope]``."""
+        if self._count == 0:
+            raise ValueError("no ranges accepted")
+        if self._count == 1:
+            return float("-inf"), float("inf")
+        r0, r1, r2, r3 = self._rect
+        return (
+            (r2[1] - r0[1]) / (r2[0] - r0[0]),
+            (r3[1] - r1[1]) / (r3[0] - r1[0]),
+        )

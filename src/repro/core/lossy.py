@@ -1,0 +1,116 @@
+"""NeaTS-L: the lossy compressor with a maximum-error guarantee (§III-B).
+
+NeaTS-L keeps the optimal partitioning machinery of Algorithm 1 but drops the
+corrections: ``E = {ε}`` and the edge weight counts only the storage of the
+function parameters, so the shortest path minimises the total space of the
+(lossy) piecewise nonlinear ε-approximation.  The output guarantees
+``|f(x_k) - y_k| <= ε`` for every point (L∞ bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .models import DEFAULT_MODELS, get_model
+from .partition import Fragment, PARAM_BITS, FRAGMENT_OVERHEAD_BITS, partition_lossy
+from .piecewise import mape, max_abs_error
+
+__all__ = ["NeaTSLossy", "LossySeries"]
+
+
+@dataclass
+class LossySeries:
+    """A lossy piecewise-functional representation of a time series."""
+
+    fragments: list[Fragment]
+    n: int
+    shift: int
+    eps: float
+    original_bits: int
+
+    def reconstruct(self) -> np.ndarray:
+        """Evaluate the approximation at every position (float64)."""
+        out = np.empty(self.n, dtype=np.float64)
+        for frag in self.fragments:
+            model = get_model(frag.model_name)
+            xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)
+            out[frag.start : frag.end] = model.evaluate(frag.params, xs)
+        return out - self.shift
+
+    def reconstruct_int(self) -> np.ndarray:
+        """The approximation floored to integers, as NeaTS would decode it."""
+        out = np.empty(self.n, dtype=np.int64)
+        for frag in self.fragments:
+            model = get_model(frag.model_name)
+            xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)
+            vals = np.floor(model.evaluate(frag.params, xs)).astype(np.int64)
+            out[frag.start : frag.end] = vals
+        return out - self.shift
+
+    def access(self, k: int) -> float:
+        """The approximated value at 0-based position ``k``."""
+        lo, hi = 0, len(self.fragments) - 1
+        while lo < hi:  # binary search over fragment starts
+            mid = (lo + hi + 1) // 2
+            if self.fragments[mid].start <= k:
+                lo = mid
+            else:
+                hi = mid - 1
+        frag = self.fragments[lo]
+        model = get_model(frag.model_name)
+        return model.evaluate_at(frag.params, k + 1) - self.shift
+
+    def size_bits(self) -> int:
+        """Size of the lossy representation: parameters plus metadata."""
+        return sum(
+            get_model(f.model_name).n_params * PARAM_BITS + FRAGMENT_OVERHEAD_BITS
+            for f in self.fragments
+        ) + 64 * 2
+
+    def compression_ratio(self) -> float:
+        """Compressed size / original size."""
+        return self.size_bits() / self.original_bits
+
+    def max_error(self, y: np.ndarray) -> float:
+        """Measured L∞ error against the original values."""
+        return max_abs_error(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+    def mape(self, y: np.ndarray) -> float:
+        """Mean Absolute Percentage Error against the original values (§IV-B)."""
+        return mape(np.asarray(y, dtype=np.float64), self.reconstruct())
+
+
+class NeaTSLossy:
+    """Lossy error-bounded compressor using nonlinear functional approximations.
+
+    Parameters
+    ----------
+    eps:
+        The L∞ error bound (in original value units).
+    models:
+        The function set ``F``; defaults to the paper's four kinds.
+    """
+
+    def __init__(
+        self, eps: float, models: tuple[str, ...] | list[str] = DEFAULT_MODELS
+    ) -> None:
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.eps = float(eps)
+        self.models = list(models)
+        for name in self.models:
+            get_model(name)
+
+    def compress(self, values: np.ndarray) -> LossySeries:
+        """Build the minimum-space lossy ε-representation of ``values``."""
+        y = np.asarray(values, dtype=np.int64)
+        if len(y) == 0:
+            raise ValueError("cannot compress an empty series")
+        shift = int(1 + np.ceil(self.eps) - int(y.min()))
+        z = y.astype(np.float64) + shift
+        result = partition_lossy(z, list(self.models), self.eps)
+        return LossySeries(
+            result.fragments, len(y), shift, self.eps, 64 * len(y)
+        )

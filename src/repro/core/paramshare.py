@@ -1,0 +1,133 @@
+"""Model-parameter compression (paper §VI: "further compressing the models").
+
+The paper's first future-work item is to shrink the per-fragment function
+parameters by "exploiting similarities between functions" (as SimPiece [84]
+does for linear pieces).  This module implements two compatible techniques:
+
+* **Quantisation** — parameters are rounded to float32 (or an arbitrary grid)
+  *before* the residuals are computed, so the corrections absorb the
+  quantisation error and losslessness is untouched; only the correction
+  widths can grow (the storage builder re-measures them anyway).
+* **Deduplication** — identical (post-quantisation) parameter tuples are
+  stored once in a dictionary; fragments keep a short packed index.  Highly
+  regular series (repeated shapes, staircase sensors) often reuse a handful
+  of functions.
+
+``compact_fragments`` is a drop-in preprocessing step between Algorithm 1 and
+the storage builder; ``SharedParams`` measures the space of the dictionary
+encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bits.packed import PackedArray, min_width
+from .partition import Fragment
+
+__all__ = ["compact_fragments", "SharedParams", "quantise_params"]
+
+
+def quantise_params(
+    params: tuple[float, ...], precision: str = "float32"
+) -> tuple[float, ...]:
+    """Round parameters to a lower-precision grid.
+
+    ``"float64"`` is the identity; ``"float32"`` halves the parameter
+    storage; ``"bf16"`` quarters it (via float32 with truncated mantissa).
+    """
+    if precision == "float64":
+        return params
+    if precision == "float32":
+        return tuple(float(np.float32(p)) for p in params)
+    if precision == "bf16":
+        out = []
+        for p in params:
+            raw = np.float32(p).view(np.uint32) & np.uint32(0xFFFF0000)
+            out.append(float(raw.view(np.float32)))
+        return tuple(out)
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+def param_bits(precision: str) -> int:
+    """Stored bits per parameter under a precision setting."""
+    return {"float64": 64, "float32": 32, "bf16": 16}[precision]
+
+
+def compact_fragments(
+    fragments: list[Fragment], precision: str = "float32"
+) -> list[Fragment]:
+    """Quantise every fragment's parameters (losslessness is preserved
+    because the storage builder recomputes residuals from these params)."""
+    return [
+        Fragment(
+            f.start, f.end, f.model_name, f.eps,
+            quantise_params(f.params, precision),
+        )
+        for f in fragments
+    ]
+
+
+@dataclass
+class SharedParams:
+    """Dictionary encoding of fragment parameters.
+
+    Collects the distinct (quantised) parameter tuples, stores each once,
+    and replaces per-fragment parameters with a packed dictionary index.
+    """
+
+    precision: str
+    dictionary: list[tuple[float, ...]]
+    indexes: PackedArray
+    n_fragments: int
+
+    @classmethod
+    def build(
+        cls, fragments: list[Fragment], precision: str = "float32"
+    ) -> "SharedParams":
+        seen: dict[tuple[float, ...], int] = {}
+        idxs: list[int] = []
+        for f in fragments:
+            q = quantise_params(f.params, precision)
+            if q not in seen:
+                seen[q] = len(seen)
+            idxs.append(seen[q])
+        width = min_width(max(len(seen) - 1, 0))
+        return cls(
+            precision=precision,
+            dictionary=list(seen),
+            indexes=PackedArray(idxs, width=width),
+            n_fragments=len(fragments),
+        )
+
+    @property
+    def distinct(self) -> int:
+        """Number of unique parameter tuples."""
+        return len(self.dictionary)
+
+    def params_of(self, fragment_index: int) -> tuple[float, ...]:
+        """The (quantised) parameters of one fragment."""
+        return self.dictionary[self.indexes[fragment_index]]
+
+    def size_bits(self) -> int:
+        """Dictionary + per-fragment indexes."""
+        per_param = param_bits(self.precision)
+        dict_bits = sum(len(t) * per_param for t in self.dictionary)
+        return dict_bits + self.indexes.size_bits() + 64
+
+    def plain_size_bits(self) -> int:
+        """What the same parameters cost without sharing."""
+        per_param = param_bits(self.precision)
+        total = 0
+        for idx in self.indexes:
+            total += len(self.dictionary[idx]) * per_param
+        return total
+
+    def saving_ratio(self) -> float:
+        """Fraction of parameter space saved by the dictionary (can be < 0)."""
+        plain = self.plain_size_bits()
+        if plain == 0:
+            return 0.0
+        return 1.0 - self.size_bits() / plain

@@ -1,0 +1,81 @@
+"""Piecewise ε-approximation with a single function kind (Corollary 1).
+
+A repeated application of Theorem 1 from ``T[1]`` to ``T[n]`` partitions the
+series into the *minimum* number of fragments, each admitting an
+ε-approximation of the given kind, in O(n) total time.  This is the building
+block both of the PLA baseline (with the linear kind) and of the fragment
+enumeration inside Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .models import FragmentFit, Model, get_model, make_approximation
+
+__all__ = ["piecewise_approximation", "mape", "max_abs_error"]
+
+
+def piecewise_approximation(
+    z: np.ndarray, model: Model | str, eps: float
+) -> list[FragmentFit]:
+    """Partition ``z`` into the fewest ``model``-kind ε-approximable fragments.
+
+    Parameters
+    ----------
+    z:
+        The (shifted, positive) values indexed by positions ``1..n``.
+    model:
+        A :class:`~repro.core.models.Model` or its registry name.
+    eps:
+        The maximum absolute approximation error (L∞ bound).
+
+    Returns
+    -------
+    list of :class:`~repro.core.models.FragmentFit`
+        Consecutive fragments covering ``[0, n)``.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    fragments: list[FragmentFit] = []
+    start = 0
+    n = len(z)
+    while start < n:
+        fit = make_approximation(z, start, model, eps)
+        fragments.append(fit)
+        start = fit.end
+    return fragments
+
+
+def reconstruct(
+    fragments: list[FragmentFit], model: Model | str, n: int
+) -> np.ndarray:
+    """Evaluate a single-kind piecewise approximation over positions ``1..n``."""
+    if isinstance(model, str):
+        model = get_model(model)
+    out = np.empty(n, dtype=np.float64)
+    for frag in fragments:
+        xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)
+        out[frag.start : frag.end] = model.evaluate(frag.params, xs)
+    return out
+
+
+def max_abs_error(z: np.ndarray, approx: np.ndarray) -> float:
+    """L∞ error between the data and its approximation."""
+    return float(np.max(np.abs(np.asarray(z, dtype=np.float64) - approx)))
+
+
+def mape(z: np.ndarray, approx: np.ndarray) -> float:
+    """Mean Absolute Percentage Error, as reported in §IV-B.
+
+    Zero values are skipped (their relative error is undefined), matching the
+    usual MAPE convention.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    nonzero = z != 0
+    if not np.any(nonzero):
+        return 0.0
+    rel = np.abs((z[nonzero] - approx[nonzero]) / z[nonzero])
+    return float(np.mean(rel) * 100.0)

@@ -1,0 +1,161 @@
+"""Two-tier ingestion store: fast streaming writes, NeaTS at rest.
+
+§IV-C1 of the paper sketches the deployment NeaTS is designed for: "we could
+imagine using a lightweight compressor like ALP or Gorilla when the time
+series is first ingested, and running NeaTS later on (or in the background)
+to provide much more effective compression and efficient query operations in
+the long run".  :class:`TieredStore` is that architecture:
+
+* appends land in an uncompressed **write buffer**;
+* full buffers are sealed into a **hot tier** with a cheap streaming codec
+  (Gorilla by default — microsecond sealing, weak ratio);
+* :meth:`consolidate` migrates sealed hot blocks into the **cold tier**, one
+  NeaTS-compressed run (strong ratio, native random access) — the
+  "background" recompression step.
+
+All three tiers answer ``access``/``range`` transparently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import LosslessCompressor
+from ..baselines.gorilla import GorillaCompressor
+from .compressor import NeaTS
+
+__all__ = ["TieredStore"]
+
+
+class TieredStore:
+    """An append-only time series store with background NeaTS consolidation."""
+
+    def __init__(
+        self,
+        seal_threshold: int = 4096,
+        hot_compressor: LosslessCompressor | None = None,
+        cold_compressor: NeaTS | None = None,
+    ) -> None:
+        if seal_threshold < 1:
+            raise ValueError("seal_threshold must be positive")
+        self._seal_threshold = seal_threshold
+        self._hot_codec = hot_compressor or GorillaCompressor()
+        self._cold_codec = cold_compressor or NeaTS()
+        self._buffer: list[int] = []
+        self._hot: list = []  # sealed Compressed blocks, in order
+        self._hot_counts: list[int] = []
+        self._cold = None  # one consolidated CompressedSeries
+        self._cold_count = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def append(self, value: int) -> None:
+        """Append one value; seals the buffer when it reaches the threshold."""
+        self._buffer.append(int(value))
+        if len(self._buffer) >= self._seal_threshold:
+            self._seal()
+
+    def extend(self, values) -> None:
+        """Append many values."""
+        for v in np.asarray(values, dtype=np.int64).tolist():
+            self.append(v)
+
+    def _seal(self) -> None:
+        if not self._buffer:
+            return
+        chunk = np.array(self._buffer, dtype=np.int64)
+        self._hot.append(self._hot_codec.compress(chunk))
+        self._hot_counts.append(len(chunk))
+        self._buffer.clear()
+
+    def consolidate(self) -> None:
+        """Migrate all sealed hot blocks into the cold NeaTS tier.
+
+        This is the paper's "run NeaTS later on (or in the background)"
+        step; it decodes the hot tier once and recompresses everything
+        (including any previous cold data) into a single NeaTS run.
+        """
+        if not self._hot:
+            return
+        parts = []
+        if self._cold is not None:
+            parts.append(self._cold.decompress())
+        parts.extend(block.decompress() for block in self._hot)
+        merged = np.concatenate(parts)
+        self._cold = self._cold_codec.compress(merged)
+        self._cold_count = len(merged)
+        self._hot.clear()
+        self._hot_counts.clear()
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._cold_count + sum(self._hot_counts) + len(self._buffer)
+
+    def access(self, k: int) -> int:
+        """The value at global position ``k``, whatever tier holds it."""
+        if not 0 <= k < len(self):
+            raise IndexError(k)
+        if k < self._cold_count:
+            return self._cold.access(k)
+        k -= self._cold_count
+        for block, count in zip(self._hot, self._hot_counts):
+            if k < count:
+                return block.access(k)
+            k -= count
+        return self._buffer[k]
+
+    def range(self, lo: int, hi: int) -> np.ndarray:
+        """Values at global positions ``[lo, hi)`` across tiers."""
+        if not 0 <= lo <= hi <= len(self):
+            raise IndexError((lo, hi))
+        out = []
+        pos = lo
+        while pos < hi:
+            if pos < self._cold_count:
+                end = min(hi, self._cold_count)
+                out.append(self._cold.decompress_range(pos, end))
+                pos = end
+                continue
+            offset = pos - self._cold_count
+            consumed = 0
+            for block, count in zip(self._hot, self._hot_counts):
+                if offset < consumed + count:
+                    local_lo = offset - consumed
+                    local_hi = min(local_lo + (hi - pos), count)
+                    out.append(block.decompress_range(local_lo, local_hi))
+                    pos += local_hi - local_lo
+                    break
+                consumed += count
+            else:
+                buf_lo = pos - self._cold_count - consumed
+                buf_hi = hi - self._cold_count - consumed
+                out.append(
+                    np.array(self._buffer[buf_lo:buf_hi], dtype=np.int64)
+                )
+                pos = hi
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+    def decompress(self) -> np.ndarray:
+        """Every stored value, in order."""
+        return self.range(0, len(self))
+
+    # -- accounting ------------------------------------------------------------------
+
+    def size_bits(self) -> int:
+        """Total compressed footprint plus the raw write buffer."""
+        total = 64 * len(self._buffer)
+        total += sum(block.size_bits() for block in self._hot)
+        if self._cold is not None:
+            total += self._cold.size_bits()
+        return total
+
+    def tier_report(self) -> dict:
+        """Occupancy by tier — handy for examples and tests."""
+        return {
+            "buffer_values": len(self._buffer),
+            "hot_blocks": len(self._hot),
+            "hot_values": sum(self._hot_counts),
+            "cold_values": self._cold_count,
+            "total_bits": self.size_bits(),
+        }

@@ -1,0 +1,111 @@
+"""Timestamped series support (paper footnote 5 and §III-C assumption).
+
+NeaTS proper stores only the values ``y_1..y_n``, assuming timestamps are
+``1..n``.  Real series carry arbitrary increasing timestamps; footnote 5
+points at two ways to map them to ranks: monotone minimal perfect hashing
+(very succinct, no range support) or *compressed rank structures* — which
+"take more space but enable range queries over timestamps".  This module
+implements the latter with the Elias-Fano substrate: timestamps go into an
+EF sequence (O(1) access, fast predecessor), values into NeaTS, and
+time-window queries become two EF ranks plus one NeaTS range scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bits import EliasFano
+from .compressor import CompressedSeries, NeaTS
+
+__all__ = ["TimestampedSeries"]
+
+
+class TimestampedSeries:
+    """A compressed ``(timestamp, value)`` series with time-window queries."""
+
+    def __init__(
+        self,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+        compressor: NeaTS | None = None,
+    ) -> None:
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if timestamps.ndim != 1 or values.ndim != 1:
+            raise ValueError("timestamps and values must be 1-D")
+        if len(timestamps) != len(values):
+            raise ValueError("timestamps and values must have equal length")
+        if len(timestamps) == 0:
+            raise ValueError("empty series")
+        if np.any(np.diff(timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        if timestamps[0] < 0:
+            raise ValueError("timestamps must be non-negative")
+        self._ts = EliasFano(
+            timestamps.tolist(), universe=int(timestamps[-1]) + 1
+        )
+        self._values: CompressedSeries = (compressor or NeaTS()).compress(values)
+        self.n = len(values)
+
+    # -- point queries -----------------------------------------------------------
+
+    def timestamp_at(self, i: int) -> int:
+        """The ``i``-th timestamp (0-based)."""
+        return self._ts[i]
+
+    def value_at(self, i: int) -> int:
+        """The ``i``-th value."""
+        return self._values.access(i)
+
+    def value_at_time(self, t: int) -> int:
+        """The value recorded exactly at time ``t``.
+
+        Raises ``KeyError`` when no sample has that timestamp.
+        """
+        rank = self._ts.rank(t)
+        if rank == 0 or self._ts[rank - 1] != t:
+            raise KeyError(f"no sample at time {t}")
+        return self._values.access(rank - 1)
+
+    def value_at_or_before(self, t: int) -> tuple[int, int]:
+        """The latest ``(timestamp, value)`` pair with timestamp <= ``t``."""
+        rank = self._ts.rank(t)
+        if rank == 0:
+            raise KeyError(f"no sample at or before time {t}")
+        return self._ts[rank - 1], self._values.access(rank - 1)
+
+    # -- window queries -------------------------------------------------------------
+
+    def index_range(self, t_lo: int, t_hi: int) -> tuple[int, int]:
+        """Positions of samples with timestamps in ``[t_lo, t_hi)``."""
+        if t_hi < t_lo:
+            raise ValueError("t_hi must be >= t_lo")
+        return self._ts.rank(t_lo - 1), self._ts.rank(t_hi - 1)
+
+    def window(self, t_lo: int, t_hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """All ``(timestamps, values)`` with timestamps in ``[t_lo, t_hi)``.
+
+        One EF rank for each endpoint, then a NeaTS range scan — the range
+        query pattern of the paper's Figure 4, lifted to the time domain.
+        """
+        lo, hi = self.index_range(t_lo, t_hi)
+        values = self._values.decompress_range(lo, hi)
+        stamps = np.array([self._ts[i] for i in range(lo, hi)], dtype=np.int64)
+        return stamps, values
+
+    # -- bulk -----------------------------------------------------------------------
+
+    def decompress(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full ``(timestamps, values)`` arrays."""
+        return (
+            np.array(self._ts.to_list(), dtype=np.int64),
+            self._values.decompress(),
+        )
+
+    def size_bits(self) -> int:
+        """Total space: EF timestamps plus the NeaTS payload."""
+        return self._ts.size_bits() + self._values.size_bits()
+
+    def compression_ratio(self) -> float:
+        """Compressed size over raw ``(int64, int64)`` pairs."""
+        return self.size_bits() / (128 * self.n)

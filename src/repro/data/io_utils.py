@@ -1,0 +1,74 @@
+"""CSV and binary round-trip helpers for time series datasets.
+
+The paper's datasets ship as textual fixed-precision values; these utilities
+reproduce that interchange format (one decimal value per line) together with
+the scaling convention of §II ("multiply by ``10^x`` where ``x`` is the
+number of fractional digits"), plus a compact binary format for cached runs.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "scale_to_int",
+    "unscale_to_float",
+    "write_csv",
+    "read_csv",
+    "write_binary",
+    "read_binary",
+]
+
+
+def scale_to_int(values: np.ndarray, digits: int) -> np.ndarray:
+    """Fixed-precision decimals -> int64 (the paper's preprocessing)."""
+    return np.round(np.asarray(values, dtype=np.float64) * 10.0**digits).astype(
+        np.int64
+    )
+
+
+def unscale_to_float(values: np.ndarray, digits: int) -> np.ndarray:
+    """int64 -> decimals (inverse of :func:`scale_to_int`)."""
+    return np.asarray(values, dtype=np.float64) / 10.0**digits
+
+
+def write_csv(path: str | Path, values: np.ndarray, digits: int) -> None:
+    """Write int64 values as fixed-precision decimal text, one per line."""
+    path = Path(path)
+    floats = unscale_to_float(values, digits)
+    with path.open("w") as fh:
+        for v in floats:
+            fh.write(f"{v:.{digits}f}\n")
+
+
+def read_csv(path: str | Path, digits: int) -> np.ndarray:
+    """Read fixed-precision decimal text into int64 values."""
+    path = Path(path)
+    with path.open() as fh:
+        floats = [float(line) for line in fh if line.strip()]
+    return scale_to_int(np.array(floats), digits)
+
+
+_MAGIC = b"TSI64\x00"
+
+
+def write_binary(path: str | Path, values: np.ndarray, digits: int) -> None:
+    """Write int64 values in a compact binary cache format."""
+    values = np.asarray(values, dtype=np.int64)
+    with Path(path).open("wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<qi", len(values), digits))
+        fh.write(values.tobytes())
+
+
+def read_binary(path: str | Path) -> tuple[np.ndarray, int]:
+    """Read a binary cache; returns ``(values, digits)``."""
+    data = Path(path).read_bytes()
+    if data[:6] != _MAGIC:
+        raise ValueError(f"{path}: not a TSI64 file")
+    n, digits = struct.unpack_from("<qi", data, 6)
+    values = np.frombuffer(data, dtype=np.int64, count=n, offset=6 + 12)
+    return values.copy(), digits

@@ -1,0 +1,78 @@
+"""Unit tests for Directly Addressable Codes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DacCompressor
+from repro.baselines.dac import optimal_level_widths
+
+
+class TestOptimalWidths:
+    def test_uniform_small_values_one_level(self):
+        lengths = np.full(1000, 4)
+        widths = optimal_level_widths(lengths)
+        assert widths[0] >= 4 or sum(widths) >= 4
+
+    def test_widths_cover_max_length(self):
+        lengths = np.array([3, 10, 40, 64])
+        widths = optimal_level_widths(lengths)
+        assert sum(widths) >= 64
+
+    def test_skewed_distribution_multi_level(self):
+        # 99% tiny values, 1% huge: the optimum uses a small first level.
+        lengths = np.array([4] * 990 + [60] * 10)
+        widths = optimal_level_widths(lengths)
+        assert widths[0] <= 8
+
+    def test_max_levels_respected(self):
+        lengths = np.array([64] * 10)
+        widths = optimal_level_widths(lengths, max_levels=3)
+        assert len(widths) <= 3
+        assert sum(widths) >= 64
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, walk_series, rng):
+        c = DacCompressor().compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+        for k in rng.integers(0, len(walk_series), 60).tolist():
+            assert c.access(k) == walk_series[k]
+
+    def test_negative_values(self, rng):
+        y = rng.integers(-(10**12), 10**12, 400).astype(np.int64)
+        c = DacCompressor().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_zeros(self):
+        y = np.zeros(100, dtype=np.int64)
+        c = DacCompressor().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_spiky_distribution(self, spiky_series, rng):
+        c = DacCompressor().compress(spiky_series)
+        assert np.array_equal(c.decompress(), spiky_series)
+        for k in rng.integers(0, len(spiky_series), 40).tolist():
+            assert c.access(k) == spiky_series[k]
+
+    def test_range_queries(self, walk_series):
+        c = DacCompressor().compress(walk_series)
+        for lo, hi in [(0, 64), (63, 65), (100, 700), (1400, 1500)]:
+            assert np.array_equal(c.decompress_range(lo, hi), walk_series[lo:hi])
+
+    def test_range_bounds(self, walk_series):
+        c = DacCompressor().compress(walk_series)
+        with pytest.raises(IndexError):
+            c.decompress_range(0, len(walk_series) + 1)
+
+
+class TestSpace:
+    def test_small_values_compress_well(self, rng):
+        y = rng.integers(-30, 30, 2000).astype(np.int64)
+        c = DacCompressor().compress(y)
+        # zigzag(30) fits in 6-7 bits; DAC should be < 15 bits/value.
+        assert c.size_bits() / len(y) < 15
+
+    def test_skewed_better_than_flat_width(self, spiky_series):
+        c = DacCompressor().compress(spiky_series)
+        # A flat encoding would need ~35 bits/value for the spikes.
+        assert c.size_bits() / len(spiky_series) < 25

@@ -1,0 +1,105 @@
+"""Unit tests for the general-purpose wrappers, PyLZ, and the block adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GENERAL_PURPOSE,
+    BlockwiseCompressor,
+    ByteCompressor,
+    Lz4LikeCompressor,
+    SnappyLikeCompressor,
+    XzCompressor,
+    ZstdLikeCompressor,
+)
+from repro.baselines import pylz
+
+
+class TestPyLZ:
+    def test_empty(self):
+        assert pylz.decompress(pylz.compress(b"")) == b""
+
+    def test_tiny_input(self):
+        for data in (b"a", b"ab", b"abcdefg"):
+            assert pylz.decompress(pylz.compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"abcdefgh" * 1000
+        blob = pylz.compress(data)
+        assert len(blob) < len(data) // 10
+        assert pylz.decompress(blob) == data
+
+    def test_random_bytes_roundtrip(self, rng):
+        data = rng.integers(0, 256, 5000).astype(np.uint8).tobytes()
+        assert pylz.decompress(pylz.compress(data)) == data
+
+    def test_overlapping_match(self):
+        # 'aaaa...' forces matches with offset < length (overlap copy).
+        data = b"a" * 500
+        assert pylz.decompress(pylz.compress(data)) == data
+
+    def test_acceleration_trades_ratio(self):
+        data = (b"pattern-x" * 300) + bytes(range(256)) * 4
+        slow = pylz.compress(data, acceleration=1)
+        fast = pylz.compress(data, acceleration=16)
+        assert pylz.decompress(fast) == data
+        assert len(slow) <= len(fast)
+
+    def test_int64_series_bytes(self, rng):
+        y = np.cumsum(rng.integers(-3, 4, 2000)).astype(np.int64)
+        data = y.tobytes()
+        assert pylz.decompress(pylz.compress(data)) == data
+
+    def test_corrupt_stream_raises(self):
+        blob = pylz.compress(b"hello world, hello world, hello world!!!")
+        with pytest.raises((ValueError, IndexError)):
+            pylz.decompress(blob[: len(blob) // 2])
+
+
+class TestBlockwiseAdapter:
+    def test_identity_codec(self, walk_series, rng):
+        codec = ByteCompressor("identity", lambda b: b, lambda b: b)
+        c = BlockwiseCompressor(codec, block_size=100).compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+        for k in rng.integers(0, len(walk_series), 40).tolist():
+            assert c.access(k) == walk_series[k]
+
+    def test_block_count(self, walk_series):
+        codec = ByteCompressor("identity", lambda b: b, lambda b: b)
+        c = BlockwiseCompressor(codec, block_size=100).compress(walk_series)
+        assert len(c._blocks) == (len(walk_series) + 99) // 100
+
+    def test_size_includes_pointers(self, constant_series):
+        codec = ByteCompressor("identity", lambda b: b, lambda b: b)
+        c = BlockwiseCompressor(codec, block_size=100).compress(constant_series)
+        assert c.size_bits() > 64 * len(c._blocks)
+
+    def test_range_spanning_blocks(self, walk_series):
+        codec = ByteCompressor("identity", lambda b: b, lambda b: b)
+        c = BlockwiseCompressor(codec, block_size=128).compress(walk_series)
+        assert np.array_equal(c.decompress_range(100, 900), walk_series[100:900])
+
+    def test_empty_range(self, walk_series):
+        codec = ByteCompressor("identity", lambda b: b, lambda b: b)
+        c = BlockwiseCompressor(codec, block_size=128).compress(walk_series)
+        assert len(c.decompress_range(5, 5)) == 0
+
+
+class TestGeneralPurposeLineup:
+    def test_five_compressors(self):
+        lineup = GENERAL_PURPOSE()
+        assert len(lineup) == 5
+        assert {c.name for c in lineup} == {"Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"}
+
+    @pytest.mark.parametrize("cls", [XzCompressor, ZstdLikeCompressor,
+                                     Lz4LikeCompressor, SnappyLikeCompressor])
+    def test_roundtrip(self, cls, walk_series, rng):
+        c = cls().compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+        for k in rng.integers(0, len(walk_series), 20).tolist():
+            assert c.access(k) == walk_series[k]
+
+    def test_xz_beats_lz4_on_structure(self, smooth_series):
+        xz = XzCompressor().compress(smooth_series)
+        lz = Lz4LikeCompressor().compress(smooth_series)
+        assert xz.size_bits() < lz.size_bits()

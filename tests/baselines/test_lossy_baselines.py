@@ -1,0 +1,110 @@
+"""Unit tests for the lossy baselines: PLA and AA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AaCompressor, PlaCompressor
+from repro.baselines.aa import AaSegment, _family_bounds
+
+
+class TestPla:
+    @pytest.mark.parametrize("eps", [0.0, 5.0, 50.0])
+    def test_error_bound(self, smooth_series, eps):
+        series = PlaCompressor(eps).compress(smooth_series)
+        assert series.max_error(smooth_series) <= eps + 1e-6
+
+    def test_exact_line_one_segment(self):
+        y = (4 * np.arange(500) - 17).astype(np.int64)
+        series = PlaCompressor(0.0).compress(y)
+        assert series.num_segments == 1
+
+    def test_more_eps_fewer_segments(self, smooth_series):
+        tight = PlaCompressor(2.0).compress(smooth_series)
+        loose = PlaCompressor(100.0).compress(smooth_series)
+        assert loose.num_segments <= tight.num_segments
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            PlaCompressor(-1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PlaCompressor(1.0).compress(np.array([], dtype=np.int64))
+
+    def test_mape_and_ratio_positive(self, smooth_series):
+        series = PlaCompressor(20.0).compress(smooth_series)
+        assert series.compression_ratio() > 0
+        assert series.mape(smooth_series) >= 0
+
+
+class TestAaFamilies:
+    def test_linear_bounds(self):
+        lo, hi = _family_bounds("linear", 10.0, 2.0, 16.0, 1.0)
+        # theta must land f(x)=10+theta*2 within [15, 17]
+        assert lo == pytest.approx(2.5)
+        assert hi == pytest.approx(3.5)
+
+    def test_quadratic_bounds(self):
+        lo, hi = _family_bounds("quadratic", 10.0, 2.0, 18.0, 2.0)
+        assert lo == pytest.approx(1.5)
+        assert hi == pytest.approx(2.5)
+
+    def test_exponential_bounds_positive_domain(self):
+        assert _family_bounds("exponential", -1.0, 1.0, 5.0, 1.0) is None
+        assert _family_bounds("exponential", 10.0, 1.0, 0.5, 1.0) is None
+        lo, hi = _family_bounds("exponential", 10.0, 1.0, 20.0, 1.0)
+        assert lo < hi
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            _family_bounds("cubic", 1.0, 1.0, 1.0, 1.0)
+
+
+class TestAaSegment:
+    def test_linear_evaluation(self):
+        seg = AaSegment(0, 10, "linear", 5.0, 2.0)
+        xs = np.array([1.0, 2.0, 3.0])
+        assert seg.evaluate(xs).tolist() == [5.0, 7.0, 9.0]
+
+    def test_exponential_evaluation(self):
+        seg = AaSegment(0, 10, "exponential", 2.0, 0.5)
+        out = seg.evaluate(np.array([1.0, 3.0]))
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(2.0 * np.exp(1.0))
+
+    def test_anchor_hit_exactly(self):
+        for fam in ("linear", "quadratic", "exponential"):
+            seg = AaSegment(4, 20, fam, 7.0, 0.1)
+            assert seg.evaluate(np.array([5.0]))[0] == pytest.approx(7.0)
+
+
+class TestAaCompressor:
+    @pytest.mark.parametrize("eps", [1.0, 20.0, 200.0])
+    def test_error_bound(self, smooth_series, eps):
+        series = AaCompressor(eps).compress(smooth_series)
+        assert series.max_error(smooth_series) <= eps + 1e-6
+
+    def test_segments_cover(self, smooth_series):
+        series = AaCompressor(30.0).compress(smooth_series)
+        assert series.segments[0].start == 0
+        assert series.segments[-1].end == len(smooth_series)
+        for a, b in zip(series.segments, series.segments[1:]):
+            assert a.end == b.start
+
+    def test_anchors_have_zero_error(self, smooth_series):
+        series = AaCompressor(30.0).compress(smooth_series)
+        recon = series.reconstruct()
+        for seg in series.segments:
+            assert recon[seg.start] == pytest.approx(float(smooth_series[seg.start]))
+
+    def test_aa_typically_worse_than_pla(self, smooth_series):
+        """The paper's §IV-B observation: AA's anchored heuristic loses to
+        optimal PLA in compression despite its nonlinear families."""
+        eps = 50.0
+        aa = AaCompressor(eps).compress(smooth_series)
+        pla = PlaCompressor(eps).compress(smooth_series)
+        assert aa.num_segments >= pla.num_segments
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            AaCompressor(-0.5)

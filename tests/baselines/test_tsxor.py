@@ -1,0 +1,83 @@
+"""Unit tests for TSXor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TSXorCompressor
+from repro.baselines.tsxor import _byte_spans, tsxor_decode, tsxor_encode
+
+
+class TestByteSpans:
+    def test_single_byte_span(self):
+        xors = np.array([0xFF], dtype=np.uint64)
+        spans, firsts = _byte_spans(xors)
+        assert spans[0] == 1 and firsts[0] == 0
+
+    def test_high_byte_span(self):
+        xors = np.array([0xAB << 56], dtype=np.uint64)
+        spans, firsts = _byte_spans(xors)
+        assert spans[0] == 1 and firsts[0] == 7
+
+    def test_multi_byte_span(self):
+        xors = np.array([0x0102030000], dtype=np.uint64)  # bytes 2..4 set
+        spans, firsts = _byte_spans(xors)
+        assert firsts[0] == 2
+        assert spans[0] == 3
+
+    def test_full_span(self):
+        xors = np.array([(1 << 63) | 1], dtype=np.uint64)
+        spans, firsts = _byte_spans(xors)
+        assert spans[0] == 8 and firsts[0] == 0
+
+
+class TestStream:
+    def test_roundtrip_simple(self):
+        values = np.array([10, 10, 12, 500, 10], dtype=np.uint64)
+        blob = tsxor_encode(values)
+        assert tsxor_decode(blob, 5).tolist() == values.tolist()
+
+    def test_exact_match_is_one_byte(self):
+        values = np.array([42, 42], dtype=np.uint64)
+        blob = tsxor_encode(values)
+        # header(RAW)+8 bytes for first, 1 byte for the repeat
+        assert len(blob) == 1 + 8 + 1
+
+    def test_roundtrip_random(self, rng):
+        values = rng.integers(0, 1 << 62, 600).astype(np.uint64)
+        blob = tsxor_encode(values)
+        assert tsxor_decode(blob, 600).tolist() == values.tolist()
+
+    def test_window_wraps(self, rng):
+        # More than 127 values forces window eviction.
+        values = np.arange(400, dtype=np.uint64) * 3 + 5
+        blob = tsxor_encode(values)
+        assert tsxor_decode(blob, 400).tolist() == values.tolist()
+
+    def test_similar_values_use_partial_xor(self):
+        base = 0x123456789A
+        values = np.array([base + i for i in range(50)], dtype=np.uint64)
+        blob = tsxor_encode(values)
+        # Much smaller than raw (9 bytes each).
+        assert len(blob) < 9 * 50 * 0.6
+
+
+class TestCompressor:
+    def test_roundtrip(self, walk_series, rng):
+        c = TSXorCompressor().compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+        for k in rng.integers(0, len(walk_series), 30).tolist():
+            assert c.access(k) == walk_series[k]
+
+    def test_negative_values(self, rng):
+        y = rng.integers(-(10**6), 10**6, 500).astype(np.int64)
+        c = TSXorCompressor().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_range(self, walk_series):
+        c = TSXorCompressor().compress(walk_series)
+        assert np.array_equal(c.decompress_range(100, 1100), walk_series[100:1100])
+
+    def test_repetitive_data_compresses(self, rng):
+        y = np.tile(rng.integers(0, 50, 40), 25).astype(np.int64)
+        c = TSXorCompressor().compress(y)
+        assert c.size_bits() < 64 * len(y) * 0.35

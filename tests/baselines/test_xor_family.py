@@ -1,0 +1,135 @@
+"""Unit tests for Gorilla, Chimp, and Chimp128."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Chimp128Compressor, ChimpCompressor, GorillaCompressor
+from repro.baselines.chimp import (
+    _LZ_ROUND,
+    _round_lz,
+    chimp128_decode,
+    chimp128_encode,
+    chimp_decode,
+    chimp_encode,
+)
+from repro.baselines.gorilla import _clz, _ctz, gorilla_decode, gorilla_encode
+from repro.bits import BitReader, BitWriter
+
+ALL = [GorillaCompressor, ChimpCompressor, Chimp128Compressor]
+
+
+class TestBitHelpers:
+    def test_clz(self):
+        assert _clz(0) == 64
+        assert _clz(1) == 63
+        assert _clz(1 << 63) == 0
+        assert _clz(0xFF) == 56
+
+    def test_ctz(self):
+        assert _ctz(0) == 64
+        assert _ctz(1) == 0
+        assert _ctz(1 << 63) == 63
+        assert _ctz(0b1000) == 3
+
+    def test_round_lz(self):
+        assert _round_lz(0) == 0
+        assert _round_lz(7) == 0
+        assert _round_lz(8) == 8
+        assert _round_lz(13) == 12
+        assert _round_lz(31) == 24
+        for v in _LZ_ROUND:
+            assert _round_lz(v) == v
+
+
+def _roundtrip_stream(encode, decode, values):
+    w = BitWriter()
+    encode(values, w)
+    r = BitReader(w.getbuffer(), w.bit_length)
+    return decode(r, len(values))
+
+
+class TestStreamCodecs:
+    @pytest.mark.parametrize(
+        "encode,decode",
+        [(gorilla_encode, gorilla_decode),
+         (chimp_encode, chimp_decode),
+         (chimp128_encode, chimp128_decode)],
+        ids=["gorilla", "chimp", "chimp128"],
+    )
+    def test_roundtrip_patterns(self, encode, decode):
+        patterns = [
+            [5],
+            [5, 5, 5, 5],                      # repeats -> zero XOR
+            [1, 2, 3, 4, 5],                   # small changes
+            [0, (1 << 64) - 1, 0],             # extreme flips
+            list(range(1000, 1100)),
+            [7, 7, 8, 7, 7, 9, 7],             # window matches for chimp128
+        ]
+        for values in patterns:
+            assert _roundtrip_stream(encode, decode, values) == values
+
+    @pytest.mark.parametrize(
+        "encode,decode",
+        [(gorilla_encode, gorilla_decode),
+         (chimp_encode, chimp_decode),
+         (chimp128_encode, chimp128_decode)],
+        ids=["gorilla", "chimp", "chimp128"],
+    )
+    def test_roundtrip_random(self, encode, decode, rng):
+        values = [int(v) for v in rng.integers(0, 1 << 63, 500, dtype=np.int64)]
+        assert _roundtrip_stream(encode, decode, values) == values
+
+    def test_chimp_exploits_trailing_zeros(self):
+        # Values differing in high bits only -> XOR has many trailing zeros,
+        # which is Chimp's specialised '01' path; ratio must beat raw.
+        values = [(i % 7) << 50 for i in range(1, 500)]
+        w = BitWriter()
+        chimp_encode(values, w)
+        assert w.bit_length < 64 * len(values) * 0.55
+
+
+class TestCompressors:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_roundtrip_and_access(self, cls, walk_series, rng):
+        c = cls().compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+        for k in rng.integers(0, len(walk_series), 40).tolist():
+            assert c.access(k) == walk_series[k]
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_negative_values(self, cls, rng):
+        y = rng.integers(-(10**9), 10**9, 700).astype(np.int64)
+        c = cls().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_range_query(self, cls, walk_series):
+        c = cls().compress(walk_series)
+        assert np.array_equal(c.decompress_range(450, 1250), walk_series[450:1250])
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_block_boundaries(self, cls, rng):
+        # Lengths around the 1000-value block size.
+        for n in (999, 1000, 1001, 2000):
+            y = rng.integers(-100, 100, n).astype(np.int64)
+            c = cls().compress(y)
+            assert np.array_equal(c.decompress(), y)
+            assert c.access(n - 1) == y[n - 1]
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_constant_series_compresses_well(self, cls, constant_series):
+        c = cls().compress(constant_series)
+        assert c.size_bits() < 64 * len(constant_series) * 0.2
+
+    def test_chimp128_beats_gorilla_on_periodic(self, rng):
+        # A periodic signal re-visits values: the 128-window finds them.
+        y = np.tile(rng.integers(0, 1000, 50), 20).astype(np.int64)
+        g = GorillaCompressor().compress(y)
+        c128 = Chimp128Compressor().compress(y)
+        assert c128.size_bits() < g.size_bits()
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_access_out_of_range(self, cls, constant_series):
+        c = cls().compress(constant_series)
+        with pytest.raises(IndexError):
+            c.access(len(constant_series))

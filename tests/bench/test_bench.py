@@ -1,0 +1,146 @@
+"""Unit tests for the benchmark harness (measurement and rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ALL_NAMES,
+    calibrate_eps,
+    make_compressor,
+    measure_lossless,
+    measure_random_access,
+    measure_range_throughput,
+)
+from repro.bench.measure import CompressorStats
+from repro.bench.registry import (
+    GENERAL_NAMES,
+    SPECIAL_NAMES,
+    LeaTSCompressor,
+    NeaTSCompressor,
+    SNeaTSCompressor,
+)
+from repro.bench.render import render_scatter, render_table
+
+
+class TestRegistry:
+    def test_lineup_matches_table3(self):
+        assert GENERAL_NAMES == ["Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"]
+        assert SPECIAL_NAMES[-1] == "NeaTS"
+        assert len(ALL_NAMES) == 13
+
+    @pytest.mark.parametrize("name", ["Xz", "DAC", "NeaTS", "LeaTS", "SNeaTS"])
+    def test_factories_work(self, name, walk_series):
+        comp = make_compressor(name, digits=2)
+        c = comp.compress(walk_series)
+        assert np.array_equal(c.decompress(), walk_series)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_compressor("gzip")
+
+    def test_neats_adapters_expose_names(self):
+        assert NeaTSCompressor().name == "NeaTS"
+        assert LeaTSCompressor().name == "LeaTS"
+        assert SNeaTSCompressor().name == "SNeaTS"
+
+
+class TestMeasurement:
+    def test_measure_lossless_stats(self, walk_series):
+        comp = make_compressor("DAC")
+        stats = measure_lossless(comp, walk_series, dataset="T")
+        assert stats.name == "DAC"
+        assert 0 < stats.ratio < 2
+        assert stats.ratio_pct == pytest.approx(100 * stats.ratio)
+        assert stats.compress_mb_s > 0
+        assert stats.decompress_mb_s > 0
+
+    def test_measure_lossless_catches_corruption(self, walk_series):
+        class Broken:
+            name = "broken"
+
+            def compress(self, values):
+                class C:
+                    def size_bits(self_inner):
+                        return 1
+
+                    def decompress(self_inner):
+                        return values + 1
+
+                return C()
+
+        with pytest.raises(AssertionError):
+            measure_lossless(Broken(), walk_series)
+
+    def test_random_access_measurement(self, walk_series):
+        comp = make_compressor("DAC")
+        c = comp.compress(walk_series)
+        spq = measure_random_access(c, walk_series, queries=50)
+        assert spq > 0
+
+    def test_random_access_detects_mismatch(self, walk_series):
+        class Lying:
+            def access(self, k):
+                return -999999999
+
+        with pytest.raises(AssertionError):
+            measure_random_access(Lying(), walk_series, queries=5)
+
+    def test_range_throughput(self, walk_series):
+        comp = make_compressor("DAC")
+        c = comp.compress(walk_series)
+        qps = measure_range_throughput(c, walk_series, range_size=64, queries=5)
+        assert qps > 0
+
+    def test_stats_speed_units(self):
+        stats = CompressorStats(
+            name="x", dataset="d", n=1_000_000, compressed_bits=64,
+            compress_seconds=1.0, decompress_seconds=2.0,
+            access_seconds_per_query=8e-6,
+        )
+        assert stats.compress_mb_s == pytest.approx(8.0)
+        assert stats.decompress_mb_s == pytest.approx(4.0)
+        assert stats.access_mb_s == pytest.approx(1.0)
+
+
+class TestCalibration:
+    def test_quick_calibration_positive(self, smooth_series):
+        eps = calibrate_eps(smooth_series, quick=True)
+        assert eps >= 1.0
+
+    def test_full_calibration_makes_lossy_smaller(self, smooth_series):
+        from repro.core import NeaTS, NeaTSLossy
+
+        eps = calibrate_eps(smooth_series, quick=False)
+        lossy = NeaTSLossy(eps).compress(smooth_series)
+        lossless = NeaTS().compress(smooth_series)
+        assert lossy.size_bits() < lossless.size_bits()
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["A", "Bee"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+
+    def test_render_table_highlight(self):
+        out = render_table(["A"], [["7"]], highlight={(0, 0): "*"})
+        assert "7*" in out
+
+    def test_render_scatter_contains_labels(self):
+        out = render_scatter(
+            {"NeaTS": (10.0, 5.0), "Xz": (12.0, 0.1)},
+            xlabel="ratio", ylabel="speed",
+        )
+        assert "NeaTS" in out and "Xz" in out
+
+    def test_render_scatter_log_scale(self):
+        out = render_scatter(
+            {"a": (1.0, 0.001), "b": (2.0, 1000.0)},
+            xlabel="x", ylabel="y", log_y=True,
+        )
+        assert "10^" in out
+
+    def test_render_scatter_empty(self):
+        assert render_scatter({}, "x", "y") == "(no points)"

@@ -1,0 +1,142 @@
+"""Unit tests for the rank/select bitvector."""
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector, BitWriter
+
+
+def naive_rank1(bits, i):
+    return sum(bits[:i])
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        bv = BitVector([1, 0, 1, 1])
+        assert len(bv) == 4
+        assert bv.count_ones == 3
+
+    def test_from_writer_words(self):
+        w = BitWriter()
+        w.write(0b1011, 4)
+        bv = BitVector((w.getbuffer(), 4))
+        assert [bv[i] for i in range(4)] == [1, 1, 0, 1]
+
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.count_ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_trailing_bits_zeroed(self):
+        # Construct from words with garbage past the length.
+        words = np.full(1, (1 << 64) - 1, dtype=np.uint64)
+        bv = BitVector((words, 3))
+        assert bv.count_ones == 3
+
+    def test_getitem_bounds(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv[2]
+
+
+class TestRank:
+    def test_rank_all_positions_small(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        bv = BitVector(bits)
+        for i in range(len(bits) + 1):
+            assert bv.rank1(i) == naive_rank1(bits, i)
+            assert bv.rank0(i) == i - naive_rank1(bits, i)
+
+    def test_rank_random_large(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 4096).tolist()
+        bv = BitVector(bits)
+        for i in rng.integers(0, 4097, 300).tolist():
+            assert bv.rank1(i) == naive_rank1(bits, i)
+
+    def test_rank_past_end_clamps(self):
+        bv = BitVector([1, 1, 0])
+        assert bv.rank1(100) == 2
+        assert bv.rank1(-5) == 0
+
+    def test_rank_on_all_ones(self):
+        bv = BitVector([1] * 1000)
+        assert bv.rank1(567) == 567
+
+    def test_rank_on_all_zeros(self):
+        bv = BitVector([0] * 1000)
+        assert bv.rank1(789) == 0
+        assert bv.rank0(789) == 789
+
+
+class TestSelect:
+    def test_select1_matches_positions(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 3000).tolist()
+        bv = BitVector(bits)
+        ones = [i for i, b in enumerate(bits) if b]
+        for k in range(0, len(ones), 13):
+            assert bv.select1(k) == ones[k]
+
+    def test_select0_matches_positions(self):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 3000).tolist()
+        bv = BitVector(bits)
+        zeros = [i for i, b in enumerate(bits) if not b]
+        for k in range(0, len(zeros), 17):
+            assert bv.select0(k) == zeros[k]
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0, 1])
+        with pytest.raises(IndexError):
+            bv.select1(2)
+        with pytest.raises(IndexError):
+            bv.select0(1)
+
+    def test_select_rank_inverse(self):
+        rng = np.random.default_rng(6)
+        bits = rng.integers(0, 2, 2048).tolist()
+        bv = BitVector(bits)
+        for k in range(0, bv.count_ones, 7):
+            assert bv.rank1(bv.select1(k)) == k
+
+    def test_sparse_ones(self):
+        bits = [0] * 5000
+        for pos in (13, 1024, 4999):
+            bits[pos] = 1
+        bv = BitVector(bits)
+        assert bv.select1(0) == 13
+        assert bv.select1(1) == 1024
+        assert bv.select1(2) == 4999
+
+
+class TestPredecessor:
+    def test_predecessor_basic(self):
+        bv = BitVector([0, 1, 0, 0, 1, 0])
+        assert bv.predecessor1(0) == -1
+        assert bv.predecessor1(1) == 1
+        assert bv.predecessor1(3) == 1
+        assert bv.predecessor1(5) == 4
+
+
+class TestDecoding:
+    def test_to_numpy(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        assert BitVector(bits).to_numpy().tolist() == bits
+
+    def test_slice(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 500).tolist()
+        bv = BitVector(bits)
+        assert bv.slice(100, 200).tolist() == bits[100:200]
+        assert bv.slice(63, 65).tolist() == bits[63:65]
+        assert bv.slice(0, 0).tolist() == []
+
+    def test_slice_bounds(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv.slice(0, 3)
+
+    def test_size_bits_positive(self):
+        assert BitVector([1, 0, 1]).size_bits() > 0

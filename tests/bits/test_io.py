@@ -1,0 +1,164 @@
+"""Unit tests for the bit-level reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.bits import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_length(self):
+        assert BitWriter().bit_length == 0
+
+    def test_single_bit(self):
+        w = BitWriter()
+        w.write(1, 1)
+        assert w.bit_length == 1
+        r = BitReader(w.getbuffer(), 1)
+        assert r.read(1) == 1
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write(123, 0)
+        assert w.bit_length == 0
+
+    def test_full_word_write(self):
+        w = BitWriter()
+        value = (1 << 64) - 1
+        w.write(value, 64)
+        r = BitReader(w.getbuffer(), 64)
+        assert r.read(64) == value
+
+    def test_width_out_of_range_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0, 65)
+        with pytest.raises(ValueError):
+            w.write(0, -1)
+
+    def test_value_is_masked_to_width(self):
+        w = BitWriter()
+        w.write(0b1111, 2)  # only low 2 bits stored
+        r = BitReader(w.getbuffer(), 2)
+        assert r.read(2) == 0b11
+
+    def test_cross_word_boundary(self):
+        w = BitWriter()
+        w.write(0, 60)
+        w.write(0b10110101, 8)  # straddles the 64-bit boundary
+        r = BitReader(w.getbuffer(), w.bit_length)
+        r.seek(60)
+        assert r.read(8) == 0b10110101
+
+    def test_many_mixed_widths_roundtrip(self):
+        import random
+
+        pyrng = random.Random(0)
+        rng = np.random.default_rng(0)
+        fields = [(pyrng.getrandbits(int(w)) if w else 0, int(w))
+                  for w in rng.integers(0, 65, 500)]
+        w = BitWriter()
+        for value, width in fields:
+            w.write(value, int(width))
+        r = BitReader(w.getbuffer(), w.bit_length)
+        for value, width in fields:
+            assert r.read(int(width)) == value
+
+    def test_write_bool(self):
+        w = BitWriter()
+        for b in (True, False, True, True):
+            w.write_bool(b)
+        r = BitReader(w.getbuffer(), 4)
+        assert [r.read_bool() for _ in range(4)] == [True, False, True, True]
+
+    def test_write_run(self):
+        w = BitWriter()
+        w.write_run(1, 130)
+        w.write_run(0, 70)
+        w.write_run(1, 3)
+        r = BitReader(w.getbuffer(), w.bit_length)
+        assert all(r.read(1) == 1 for _ in range(130))
+        assert all(r.read(1) == 0 for _ in range(70))
+        assert all(r.read(1) == 1 for _ in range(3))
+
+    def test_extend(self):
+        a = BitWriter()
+        a.write(0b101, 3)
+        b = BitWriter()
+        b.write(0b11110000, 8)
+        b.write(1, 1)
+        a.extend(b)
+        r = BitReader(a.getbuffer(), a.bit_length)
+        assert r.read(3) == 0b101
+        assert r.read(8) == 0b11110000
+        assert r.read(1) == 1
+
+    def test_tobytes_roundtrip(self):
+        w = BitWriter()
+        w.write(0xDEADBEEF, 32)
+        r = BitReader.frombytes(w.tobytes(), 32)
+        assert r.read(32) == 0xDEADBEEF
+
+
+class TestUnary:
+    @pytest.mark.parametrize("value", [0, 1, 5, 63, 64, 65, 130, 1000])
+    def test_unary_roundtrip(self, value):
+        w = BitWriter()
+        w.write_unary(value)
+        r = BitReader(w.getbuffer(), w.bit_length)
+        assert r.read_unary() == value
+
+    def test_unary_negative_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+    def test_unary_sequence(self):
+        values = [3, 0, 0, 64, 7, 128, 1]
+        w = BitWriter()
+        for v in values:
+            w.write_unary(v)
+        r = BitReader(w.getbuffer(), w.bit_length)
+        assert [r.read_unary() for _ in values] == values
+
+    def test_unary_past_end_raises(self):
+        w = BitWriter()
+        w.write(0, 8)  # all zeros, no terminating one
+        r = BitReader(w.getbuffer(), 8)
+        with pytest.raises(EOFError):
+            r.read_unary()
+
+
+class TestBitReader:
+    def test_seek_and_peek(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        w.write(0xCD, 8)
+        r = BitReader(w.getbuffer(), 16)
+        assert r.peek_at(8, 8) == 0xCD
+        assert r.pos == 0  # peek does not move
+        r.seek(8)
+        assert r.read(8) == 0xCD
+
+    def test_seek_out_of_range(self):
+        r = BitReader(np.zeros(1, dtype=np.uint64), 10)
+        with pytest.raises(ValueError):
+            r.seek(11)
+        with pytest.raises(ValueError):
+            r.seek(-1)
+
+    def test_read_past_end_raises(self):
+        r = BitReader(np.zeros(1, dtype=np.uint64), 10)
+        with pytest.raises(EOFError):
+            r.peek_at(5, 8)
+
+    def test_bit_at(self):
+        w = BitWriter()
+        w.write(0b1010, 4)
+        r = BitReader(w.getbuffer(), 4)
+        assert [r.bit_at(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_frombytes_pads_to_words(self):
+        r = BitReader.frombytes(b"\xff\x00\xff")  # 3 bytes -> padded
+        assert r.read(8) == 0xFF
+        assert r.read(8) == 0x00
+        assert r.read(8) == 0xFF

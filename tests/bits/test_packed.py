@@ -1,0 +1,125 @@
+"""Unit tests for fixed-width packed arrays."""
+
+import numpy as np
+import pytest
+
+from repro.bits import PackedArray, min_width
+from repro.bits.packed import unpack_bits, unpack_fields
+
+
+class TestMinWidth:
+    @pytest.mark.parametrize(
+        "value,width", [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)]
+    )
+    def test_known_widths(self, value, width):
+        assert min_width(value) == width
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            min_width(-1)
+
+
+class TestPackedArray:
+    def test_empty(self):
+        pa = PackedArray([])
+        assert len(pa) == 0
+        assert pa.to_numpy().tolist() == []
+
+    def test_auto_width(self):
+        pa = PackedArray([0, 5, 3])
+        assert pa.width == 3
+
+    def test_explicit_width(self):
+        pa = PackedArray([1, 2, 3], width=10)
+        assert pa.width == 10
+        assert list(pa) == [1, 2, 3]
+
+    def test_value_too_large_raises(self):
+        with pytest.raises(ValueError):
+            PackedArray([8], width=3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            PackedArray([-1], width=8)
+
+    def test_getitem_and_negative_index(self):
+        pa = PackedArray([10, 20, 30])
+        assert pa[0] == 10
+        assert pa[-1] == 30
+        with pytest.raises(IndexError):
+            pa[3]
+
+    def test_slicing_via_getitem(self):
+        pa = PackedArray(list(range(20)))
+        assert pa[5:10] == [5, 6, 7, 8, 9]
+
+    def test_width_zero(self):
+        pa = PackedArray([0, 0, 0], width=0)
+        assert list(pa) == [0, 0, 0]
+        assert pa.to_numpy().tolist() == [0, 0, 0]
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(1)
+        for width in (1, 7, 13, 31, 57, 64):
+            cap = (1 << width) - 1
+            values = [int(v) % (cap + 1) for v in rng.integers(0, 1 << 62, 300)]
+            pa = PackedArray(values, width=width)
+            assert list(pa) == values
+            assert pa.to_numpy().tolist() == values
+
+    def test_slice_matches_list(self):
+        values = list(range(100, 400, 3))
+        pa = PackedArray(values)
+        assert pa.slice(10, 40).tolist() == values[10:40]
+        assert pa.slice(0, 0).tolist() == []
+
+    def test_slice_out_of_range(self):
+        pa = PackedArray([1, 2, 3])
+        with pytest.raises(IndexError):
+            pa.slice(1, 5)
+
+    def test_size_bits(self):
+        pa = PackedArray([1] * 100, width=7)
+        assert pa.size_bits() == 100 * 7 + 8
+
+    def test_64bit_values(self):
+        big = (1 << 64) - 1
+        pa = PackedArray([big, 0, big // 2], width=64)
+        assert list(pa) == [big, 0, big // 2]
+        assert pa.to_numpy().tolist() == [big, 0, big // 2]
+
+
+class TestUnpack:
+    def test_unpack_with_offset(self):
+        from repro.bits import BitWriter
+
+        w = BitWriter()
+        w.write(0b111, 3)  # prefix garbage
+        for v in (5, 9, 14, 2):
+            w.write(v, 4)
+        out = unpack_bits(w.getbuffer(), 4, 4, bit_offset=3)
+        assert out.tolist() == [5, 9, 14, 2]
+
+    def test_unpack_fields_arbitrary_offsets(self):
+        from repro.bits import BitWriter
+
+        w = BitWriter()
+        w.write(0xAA, 8)
+        w.write(0xBB, 8)
+        w.write(0xCC, 8)
+        starts = np.array([16, 0, 8], dtype=np.int64)
+        out = unpack_fields(w.getbuffer(), starts, 8)
+        assert out.tolist() == [0xCC, 0xAA, 0xBB]
+
+    def test_unpack_zero_count(self):
+        assert unpack_bits(np.zeros(1, dtype=np.uint64), 8, 0).tolist() == []
+
+    def test_unpack_wide_fields(self):
+        from repro.bits import BitWriter
+
+        w = BitWriter()
+        values = [(1 << 60) - 3, 12345, (1 << 62) + 7]
+        for v in values:
+            w.write(v, 63)
+        out = unpack_bits(w.getbuffer(), 63, 3)
+        assert out.tolist() == values

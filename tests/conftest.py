@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_series(rng):
+    """A small sine-plus-noise integer series (2000 points)."""
+    n = 2000
+    y = 1000 * np.sin(np.arange(n) / 60.0) + rng.normal(0, 15, n)
+    return y.astype(np.int64)
+
+
+@pytest.fixture
+def walk_series(rng):
+    """A random-walk integer series (1500 points)."""
+    return np.cumsum(rng.integers(-50, 51, 1500)).astype(np.int64)
+
+
+@pytest.fixture
+def spiky_series(rng):
+    """A bursty series with large outliers (1000 points)."""
+    base = rng.integers(-20, 21, 1000)
+    spikes = (rng.random(1000) < 0.02) * rng.integers(-100000, 100000, 1000)
+    return (base + spikes).astype(np.int64)
+
+
+@pytest.fixture
+def constant_series():
+    """A constant series (500 points)."""
+    return np.full(500, 42, dtype=np.int64)

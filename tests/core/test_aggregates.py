@@ -1,0 +1,107 @@
+"""Unit tests for aggregate queries over compressed data (§VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregateIndex, Bounds, NeaTS
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    rng = np.random.default_rng(99)
+    y = (2000 * np.sin(np.arange(3000) / 70) + rng.normal(0, 30, 3000)).astype(
+        np.int64
+    )
+    c = NeaTS().compress(y)
+    return y, c, AggregateIndex(c.storage)
+
+
+class TestSum:
+    def test_full_range(self, indexed):
+        y, _, agg = indexed
+        assert agg.sum(0, len(y)) == int(y.sum())
+
+    @pytest.mark.parametrize("lo,hi", [(0, 1), (0, 100), (55, 2900),
+                                       (1000, 1001), (2999, 3000)])
+    def test_arbitrary_ranges(self, indexed, lo, hi):
+        y, _, agg = indexed
+        assert agg.sum(lo, hi) == int(y[lo:hi].sum())
+
+    def test_empty_range(self, indexed):
+        _, _, agg = indexed
+        assert agg.sum(10, 10) == 0
+
+    def test_fragment_aligned_ranges(self, indexed):
+        y, c, agg = indexed
+        starts = c.storage._starts_list
+        if len(starts) >= 3:
+            lo, hi = starts[1], starts[2]
+            assert agg.sum(lo, hi) == int(y[lo:hi].sum())
+
+    def test_sweep_random_ranges(self, indexed, rng):
+        y, _, agg = indexed
+        for _ in range(50):
+            lo = int(rng.integers(0, len(y)))
+            hi = int(rng.integers(lo, len(y) + 1))
+            assert agg.sum(lo, hi) == int(y[lo:hi].sum())
+
+    def test_bounds_checked(self, indexed):
+        _, _, agg = indexed
+        with pytest.raises(IndexError):
+            agg.sum(-1, 5)
+        with pytest.raises(IndexError):
+            agg.sum(0, 10**9)
+
+
+class TestMean:
+    def test_matches_numpy(self, indexed):
+        y, _, agg = indexed
+        assert agg.mean(100, 2000) == pytest.approx(float(y[100:2000].mean()))
+
+    def test_empty_raises(self, indexed):
+        _, _, agg = indexed
+        with pytest.raises(ValueError):
+            agg.mean(5, 5)
+
+
+class TestBounds:
+    def test_min_bounds_contain_truth(self, indexed, rng):
+        y, _, agg = indexed
+        for _ in range(40):
+            lo = int(rng.integers(0, len(y) - 1))
+            hi = int(rng.integers(lo + 1, len(y) + 1))
+            b = agg.min_bounds(lo, hi)
+            assert float(y[lo:hi].min()) in b
+
+    def test_max_bounds_contain_truth(self, indexed, rng):
+        y, _, agg = indexed
+        for _ in range(40):
+            lo = int(rng.integers(0, len(y) - 1))
+            hi = int(rng.integers(lo + 1, len(y) + 1))
+            b = agg.max_bounds(lo, hi)
+            assert float(y[lo:hi].max()) in b
+
+    def test_whole_fragment_bounds_are_exact(self, indexed):
+        y, c, agg = indexed
+        starts = c.storage._starts_list
+        lo = starts[0]
+        hi = starts[1] if len(starts) > 1 else len(y)
+        assert agg.min_bounds(lo, hi).width == 0
+        assert agg.max_bounds(lo, hi).width == 0
+
+    def test_bounds_object(self):
+        b = Bounds(1.0, 3.0)
+        assert 2.0 in b
+        assert 0.0 not in b
+        assert b.width == 2.0
+
+    def test_empty_raises(self, indexed):
+        _, _, agg = indexed
+        with pytest.raises(ValueError):
+            agg.min_bounds(7, 7)
+
+
+class TestSpace:
+    def test_index_is_small(self, indexed):
+        _, c, agg = indexed
+        assert agg.size_bits() < c.size_bits()

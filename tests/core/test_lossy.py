@@ -1,0 +1,74 @@
+"""Unit tests for NeaTS-L (the lossy compressor)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NeaTS, NeaTSLossy
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("eps", [1.0, 10.0, 100.0])
+    def test_linf_bound_holds(self, smooth_series, eps):
+        series = NeaTSLossy(eps).compress(smooth_series)
+        assert series.max_error(smooth_series) <= eps + 1e-6
+
+    def test_integer_reconstruction_within_eps_plus_one(self, smooth_series):
+        eps = 25.0
+        series = NeaTSLossy(eps).compress(smooth_series)
+        out = series.reconstruct_int()
+        assert np.max(np.abs(out - smooth_series)) <= eps + 1.0
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            NeaTSLossy(-1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            NeaTSLossy(1.0).compress(np.array([], dtype=np.int64))
+
+
+class TestSpace:
+    def test_lossy_smaller_than_lossless_for_large_eps(self, smooth_series):
+        value_range = int(smooth_series.max()) - int(smooth_series.min())
+        lossy = NeaTSLossy(0.05 * value_range).compress(smooth_series)
+        lossless = NeaTS().compress(smooth_series)
+        assert lossy.size_bits() < lossless.size_bits()
+
+    def test_larger_eps_fewer_fragments(self, smooth_series):
+        small = NeaTSLossy(5.0).compress(smooth_series)
+        large = NeaTSLossy(200.0).compress(smooth_series)
+        assert len(large.fragments) <= len(small.fragments)
+
+    def test_size_grows_with_fragments(self, smooth_series):
+        series = NeaTSLossy(50.0).compress(smooth_series)
+        assert series.size_bits() > 0
+        assert series.compression_ratio() > 0
+
+
+class TestAccess:
+    def test_access_within_eps(self, smooth_series, rng):
+        eps = 30.0
+        series = NeaTSLossy(eps).compress(smooth_series)
+        for k in rng.integers(0, len(smooth_series), 100).tolist():
+            assert abs(series.access(int(k)) - smooth_series[k]) <= eps + 1e-6
+
+    def test_access_matches_reconstruct(self, smooth_series, rng):
+        series = NeaTSLossy(20.0).compress(smooth_series)
+        recon = series.reconstruct()
+        for k in rng.integers(0, len(smooth_series), 50).tolist():
+            assert series.access(int(k)) == pytest.approx(recon[k])
+
+
+class TestMetrics:
+    def test_mape_reasonable(self, smooth_series):
+        series = NeaTSLossy(10.0).compress(smooth_series)
+        assert 0 <= series.mape(smooth_series) < 100
+
+    def test_models_subset(self, smooth_series):
+        series = NeaTSLossy(10.0, models=("linear",)).compress(smooth_series)
+        assert all(f.model_name == "linear" for f in series.fragments)
+        assert series.max_error(smooth_series) <= 10.0 + 1e-6
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            NeaTSLossy(1.0, models=("spline",))

@@ -1,0 +1,133 @@
+"""Deeper per-model coverage: every Table-I kind fits its own curve family.
+
+These tests pin the semantic contract of each transform: data generated
+exactly from a model's own function family must be recovered as a *single*
+fragment (up to rounding), and the fitted parameters must reproduce the
+generating ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import get_model, make_approximation
+
+
+def _fit_on(z, name, eps):
+    model = get_model(name)
+    fit = make_approximation(np.asarray(z, dtype=np.float64), 0, model, eps)
+    xs = np.arange(fit.start + 1, fit.end + 1, dtype=np.float64)
+    return fit, model.evaluate(fit.params, xs)
+
+
+class TestSelfFamilyRecovery:
+    """f-kind data -> one f-kind fragment with near-true parameters."""
+
+    def test_linear_recovers_slope(self):
+        xs = np.arange(1, 200, dtype=np.float64)
+        fit, _ = _fit_on(2.5 * xs + 100, "linear", 0.5)
+        assert fit.end == 199
+        assert fit.params[0] == pytest.approx(2.5, abs=0.01)
+
+    def test_exponential_recovers_rate(self):
+        xs = np.arange(1, 150, dtype=np.float64)
+        z = 20.0 * np.exp(0.01 * xs)
+        fit, approx = _fit_on(z, "exponential", 0.5)
+        assert fit.end == 149
+        assert fit.params[0] == pytest.approx(0.01, abs=1e-3)
+
+    def test_power_recovers_exponent(self):
+        xs = np.arange(1, 150, dtype=np.float64)
+        z = 3.0 * np.power(xs, 1.5)
+        fit, _ = _fit_on(z, "power", 1.0)
+        assert fit.end == 149
+        assert fit.params[0] == pytest.approx(1.5, abs=0.01)
+
+    def test_logarithmic_recovers_scale(self):
+        xs = np.arange(1, 200, dtype=np.float64)
+        z = 40.0 * np.log(xs) + 100
+        fit, _ = _fit_on(z, "logarithmic", 0.5)
+        assert fit.end == 199
+        assert fit.params[0] == pytest.approx(40.0, abs=0.2)
+
+    def test_radical_recovers_coefficient(self):
+        xs = np.arange(1, 200, dtype=np.float64)
+        z = 12.0 * np.sqrt(xs) + 7
+        fit, _ = _fit_on(z, "radical", 0.5)
+        assert fit.end == 199
+        assert fit.params[0] == pytest.approx(12.0, abs=0.1)
+
+    def test_quadratic_recovers_curvature(self):
+        xs = np.arange(1, 150, dtype=np.float64)
+        z = 0.05 * xs * xs + 30
+        fit, _ = _fit_on(z, "quadratic", 0.5)
+        assert fit.end == 149
+        assert fit.params[0] == pytest.approx(0.05, abs=1e-3)
+
+    def test_quadratic_linear_family(self):
+        xs = np.arange(1, 150, dtype=np.float64)
+        z = 0.03 * xs * xs + 2.0 * xs
+        fit, approx = _fit_on(z, "quadratic_linear", 0.5)
+        assert fit.end == 149
+        assert np.max(np.abs(approx - z)) <= 0.5 + 1e-9
+
+    def test_cubic_linear_family(self):
+        xs = np.arange(1, 120, dtype=np.float64)
+        z = 1e-4 * xs**3 + 0.5 * xs
+        fit, approx = _fit_on(z, "cubic_linear", 0.5)
+        assert fit.end == 119
+        assert np.max(np.abs(approx - z)) <= 0.5 + 1e-9
+
+    def test_cubic_quadratic_family(self):
+        xs = np.arange(1, 120, dtype=np.float64)
+        z = 1e-4 * xs**3 + 0.02 * xs * xs
+        fit, approx = _fit_on(z, "cubic_quadratic", 0.5)
+        assert fit.end == 119
+        assert np.max(np.abs(approx - z)) <= 0.5 + 1e-9
+
+    def test_gaussian_bell_curve(self):
+        # A pure member of the family e^(quadratic): the central region of a
+        # bell (adding a baseline would leave the family and rightly break
+        # the fragment early).
+        xs = np.arange(1, 120, dtype=np.float64)
+        z = 100.0 * np.exp(-((xs - 60.0) ** 2) / 2000.0)
+        fit, approx = _fit_on(z, "gaussian", 1.0)
+        assert fit.end == 119
+        assert np.max(np.abs(approx - z[: fit.end])) <= 1.0 + 1e-6
+
+
+class TestCrossFamilyBreaks:
+    """Data from family A should break a family-B fragment early."""
+
+    def test_linear_cannot_span_exponential_growth(self):
+        xs = np.arange(1, 300, dtype=np.float64)
+        z = 10.0 * np.exp(0.03 * xs)
+        lin, _ = _fit_on(z, "linear", 2.0)
+        expo, _ = _fit_on(z, "exponential", 2.0)
+        assert expo.end > lin.end
+
+    def test_exponential_cannot_span_sqrt(self):
+        xs = np.arange(1, 400, dtype=np.float64)
+        z = 50.0 * np.sqrt(xs) + 10
+        rad, _ = _fit_on(z, "radical", 1.0)
+        expo, _ = _fit_on(z, "exponential", 1.0)
+        assert rad.end >= expo.end
+
+    def test_quadratic_beats_linear_on_parabola(self):
+        xs = np.arange(1, 300, dtype=np.float64)
+        z = 0.02 * xs * xs + 5
+        quad, _ = _fit_on(z, "quadratic", 1.0)
+        lin, _ = _fit_on(z, "linear", 1.0)
+        assert quad.end > lin.end
+
+
+class TestEpsMonotonicity:
+    @pytest.mark.parametrize(
+        "name", ["linear", "exponential", "quadratic", "radical", "gaussian"]
+    )
+    def test_fragment_length_monotone_in_eps(self, name, rng):
+        z = 1000 + np.cumsum(rng.normal(0, 3, 300))
+        prev_end = 0
+        for eps in (0.5, 2.0, 8.0, 32.0):
+            fit = make_approximation(z, 0, get_model(name), eps)
+            assert fit.end >= prev_end
+            prev_end = fit.end

@@ -1,0 +1,109 @@
+"""Unit tests for model-parameter compression (§VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NeaTS
+from repro.core.paramshare import (
+    SharedParams,
+    compact_fragments,
+    param_bits,
+    quantise_params,
+)
+from repro.core.partition import Fragment, partition
+from repro.core.storage import NeaTSStorage
+
+
+class TestQuantise:
+    def test_float64_identity(self):
+        params = (0.123456789012345, -9.87)
+        assert quantise_params(params, "float64") == params
+
+    def test_float32_rounds(self):
+        params = (1 / 3, 2 / 3)
+        q = quantise_params(params, "float32")
+        assert q != params
+        assert q[0] == pytest.approx(params[0], rel=1e-6)
+
+    def test_bf16_coarser_than_float32(self):
+        params = (1 / 3,)
+        f32 = quantise_params(params, "float32")[0]
+        b16 = quantise_params(params, "bf16")[0]
+        assert abs(b16 - 1 / 3) >= abs(f32 - 1 / 3)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            quantise_params((1.0,), "fp8")
+
+    def test_param_bits(self):
+        assert param_bits("float64") == 64
+        assert param_bits("float32") == 32
+        assert param_bits("bf16") == 16
+
+
+class TestLosslessUnderQuantisation:
+    @pytest.mark.parametrize("precision", ["float32", "bf16"])
+    def test_storage_still_lossless(self, smooth_series, precision):
+        """Quantised params change the approximation, but the storage builder
+        recomputes residuals, so decoding stays exact."""
+        eps_set = [1.0, 7.0, 31.0]
+        shift = int(1 + 31 - int(smooth_series.min()))
+        z = smooth_series.astype(np.float64) + shift
+        result = partition(z, ["linear", "quadratic"], eps_set)
+        compacted = compact_fragments(result.fragments, precision)
+        storage = NeaTSStorage(z, compacted, shift)
+        assert np.array_equal(storage.decompress(), smooth_series)
+
+    def test_quantisation_grows_widths_at_most(self, smooth_series):
+        shift = int(1 + 31 - int(smooth_series.min()))
+        z = smooth_series.astype(np.float64) + shift
+        result = partition(z, ["linear"], [7.0])
+        plain = NeaTSStorage(z, result.fragments, shift)
+        quant = NeaTSStorage(z, compact_fragments(result.fragments, "bf16"), shift)
+        # corrections may widen, never shrink below the plain widths - 1
+        assert sum(quant._widths_list) >= sum(plain._widths_list) - len(
+            plain._widths_list
+        )
+
+
+class TestSharedParams:
+    def _fragments(self, params_list):
+        out = []
+        pos = 0
+        for p in params_list:
+            out.append(Fragment(pos, pos + 10, "linear", 1.0, p))
+            pos += 10
+        return out
+
+    def test_dedup_counts(self):
+        frags = self._fragments([(1.0, 2.0), (1.0, 2.0), (3.0, 4.0)])
+        shared = SharedParams.build(frags)
+        assert shared.distinct == 2
+        assert shared.n_fragments == 3
+
+    def test_params_of_roundtrip(self):
+        frags = self._fragments([(1.0, 2.0), (5.0, 6.0), (1.0, 2.0)])
+        shared = SharedParams.build(frags)
+        assert shared.params_of(0) == (1.0, 2.0)
+        assert shared.params_of(1) == (5.0, 6.0)
+        assert shared.params_of(2) == (1.0, 2.0)
+
+    def test_saving_on_repetitive_params(self):
+        frags = self._fragments([(1.0, 2.0)] * 100)
+        shared = SharedParams.build(frags)
+        assert shared.distinct == 1
+        assert shared.saving_ratio() > 0.9
+
+    def test_no_saving_on_unique_params(self):
+        frags = self._fragments([(float(i), float(i + 1)) for i in range(20)])
+        shared = SharedParams.build(frags)
+        assert shared.distinct == 20
+        assert shared.saving_ratio() <= 0.05
+
+    def test_on_real_compression(self, rng):
+        # A staircase series re-uses the constant function many times.
+        y = np.repeat(rng.integers(0, 50, 40), 50).astype(np.int64)
+        c = NeaTS(models=("linear",)).compress(y)
+        shared = SharedParams.build(c.fragments, "float32")
+        assert shared.distinct <= len(c.fragments)
+        assert shared.size_bits() > 0

@@ -1,0 +1,185 @@
+"""Unit tests for the NeaTS succinct layout and Algorithms 2-3."""
+
+import numpy as np
+import pytest
+
+from repro.core import NeaTS
+from repro.core.partition import partition
+from repro.core.storage import NeaTSStorage, _required_width
+
+
+def build_storage(y, rank_mode="ef", models=("linear", "quadratic"), eps=(1.0, 7.0)):
+    shift = int(1 + max(eps) - int(y.min()))
+    z = y.astype(np.float64) + shift
+    result = partition(z, list(models), list(eps))
+    return NeaTSStorage(z, result.fragments, shift, rank_mode), z
+
+
+class TestRequiredWidth:
+    def test_zero_width_for_zero_residuals(self):
+        assert _required_width(0, 0, 0) == 0
+
+    def test_base_width_kept_when_sufficient(self):
+        assert _required_width(-1, 1, 2) == 2
+
+    def test_widening_when_needed(self):
+        # base 0 but nonzero residuals -> widen
+        assert _required_width(-1, 0, 0) == 1
+        assert _required_width(-2, 1, 2) == 2
+        assert _required_width(-3, 2, 2) == 3
+
+    def test_asymmetric_bias_range(self):
+        # width w stores [-2^(w-1), 2^(w-1)-1]
+        assert _required_width(-4, 3, 0) == 3
+        assert _required_width(-4, 4, 0) == 4
+
+
+class TestRoundTrip:
+    def test_decompress_exact(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        assert np.array_equal(st.decompress(), smooth_series)
+
+    def test_access_matches_decompress(self, smooth_series, rng):
+        st, _ = build_storage(smooth_series)
+        dec = st.decompress()
+        for k in rng.integers(0, len(smooth_series), 100).tolist():
+            assert st.access(k) == dec[k]
+
+    def test_first_and_last_positions(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        assert st.access(0) == smooth_series[0]
+        assert st.access(len(smooth_series) - 1) == smooth_series[-1]
+
+    def test_access_out_of_range(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        with pytest.raises(IndexError):
+            st.access(-1)
+        with pytest.raises(IndexError):
+            st.access(len(smooth_series))
+
+    def test_negative_values(self, rng):
+        y = rng.integers(-10000, -100, 800).astype(np.int64)
+        st, _ = build_storage(y)
+        assert np.array_equal(st.decompress(), y)
+
+    def test_constant_series(self, constant_series):
+        st, _ = build_storage(constant_series)
+        assert np.array_equal(st.decompress(), constant_series)
+        assert st.m == 1
+
+    def test_single_point(self):
+        y = np.array([123], dtype=np.int64)
+        st, _ = build_storage(y)
+        assert st.access(0) == 123
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("lo,hi", [(0, 10), (5, 5), (100, 1500), (1990, 2000)])
+    def test_range_matches_slice(self, smooth_series, lo, hi):
+        st, _ = build_storage(smooth_series)
+        assert np.array_equal(st.decompress_range(lo, hi), smooth_series[lo:hi])
+
+    def test_full_range(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        assert np.array_equal(
+            st.decompress_range(0, len(smooth_series)), smooth_series
+        )
+
+    def test_range_bounds_checked(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        with pytest.raises(IndexError):
+            st.decompress_range(-1, 5)
+        with pytest.raises(IndexError):
+            st.decompress_range(0, len(smooth_series) + 1)
+        with pytest.raises(IndexError):
+            st.decompress_range(10, 5)
+
+
+class TestRankModes:
+    def test_bitvector_mode_equivalent(self, smooth_series, rng):
+        st_ef, _ = build_storage(smooth_series, rank_mode="ef")
+        st_bv, _ = build_storage(smooth_series, rank_mode="bitvector")
+        for k in rng.integers(0, len(smooth_series), 150).tolist():
+            assert st_ef.fragment_index(k) == st_bv.fragment_index(k)
+            assert st_ef.access(k) == st_bv.access(k)
+
+    def test_unknown_mode_raises(self, smooth_series):
+        with pytest.raises(ValueError):
+            build_storage(smooth_series, rank_mode="magic")
+
+    def test_fragment_index_boundaries(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        starts = st._starts_list
+        for i, s in enumerate(starts):
+            assert st.fragment_index(s) == i
+            if s > 0:
+                assert st.fragment_index(s - 1) == i - 1
+
+
+class TestValidation:
+    def test_non_covering_fragments_rejected(self, smooth_series):
+        from repro.core.partition import Fragment
+
+        z = smooth_series.astype(np.float64) + 100000
+        frags = [Fragment(1, len(z), "linear", 1.0, (0.0, 0.0))]
+        with pytest.raises(ValueError):
+            NeaTSStorage(z, frags, 100000)
+
+    def test_gap_rejected(self, smooth_series):
+        from repro.core.partition import Fragment
+
+        z = smooth_series.astype(np.float64) + 100000
+        frags = [
+            Fragment(0, 10, "linear", 1.0, (0.0, 0.0)),
+            Fragment(11, len(z), "linear", 1.0, (0.0, 0.0)),
+        ]
+        with pytest.raises(ValueError):
+            NeaTSStorage(z, frags, 100000)
+
+
+class TestSerialisation:
+    def test_bytes_roundtrip(self, smooth_series, rng):
+        st, _ = build_storage(smooth_series)
+        st2 = NeaTSStorage.from_bytes(st.to_bytes())
+        assert np.array_equal(st2.decompress(), smooth_series)
+        for k in rng.integers(0, len(smooth_series), 50).tolist():
+            assert st2.access(k) == st.access(k)
+
+    def test_bytes_roundtrip_bitvector_mode(self, smooth_series):
+        st, _ = build_storage(smooth_series, rank_mode="bitvector")
+        st2 = NeaTSStorage.from_bytes(st.to_bytes())
+        assert st2.rank_mode == "bitvector"
+        assert np.array_equal(st2.decompress(), smooth_series)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            NeaTSStorage.from_bytes(b"garbage!" + b"\x00" * 64)
+
+
+class TestSizeAccounting:
+    def test_size_bits_close_to_serialised(self, smooth_series):
+        st, _ = build_storage(smooth_series)
+        analytic = st.size_bits()
+        actual = len(st.to_bytes()) * 8
+        # The two count slightly different overheads (rank directories vs
+        # plain arrays); they must agree within 2x.
+        assert 0.5 <= analytic / actual <= 2.0
+
+    def test_compresses_smooth_data(self, smooth_series):
+        st, _ = build_storage(smooth_series, eps=(1.0, 7.0, 31.0, 127.0))
+        assert st.size_bits() < 64 * len(smooth_series) * 0.5
+
+
+class TestWidenedWidths:
+    def test_widths_at_least_correction_bits(self, smooth_series):
+        from repro.core.partition import correction_bits
+
+        st, _ = build_storage(smooth_series)
+        # every stored width >= the eps-derived base width can't be asserted
+        # directly (widths may widen), but decoding exactness already proves
+        # correctness; here we check B is consistent with O.
+        lengths = np.diff(st._starts_list + [st.n])
+        offsets = [0]
+        for w, length in zip(st._widths_list, lengths):
+            offsets.append(offsets[-1] + w * int(length))
+        assert offsets == st._offsets_list

@@ -1,0 +1,146 @@
+"""Unit tests for timestamped series and the tiered ingest store."""
+
+import numpy as np
+import pytest
+
+from repro.core import TieredStore, TimestampedSeries
+
+
+@pytest.fixture
+def ts_series(rng):
+    stamps = np.cumsum(rng.integers(1, 50, 1200)).astype(np.int64)
+    values = np.cumsum(rng.integers(-20, 21, 1200)).astype(np.int64)
+    return stamps, values, TimestampedSeries(stamps, values)
+
+
+class TestTimestampedSeries:
+    def test_point_lookups(self, ts_series):
+        stamps, values, series = ts_series
+        for i in (0, 500, 1199):
+            assert series.timestamp_at(i) == stamps[i]
+            assert series.value_at(i) == values[i]
+
+    def test_value_at_time_exact(self, ts_series):
+        stamps, values, series = ts_series
+        assert series.value_at_time(int(stamps[42])) == values[42]
+
+    def test_value_at_time_missing_raises(self, ts_series):
+        stamps, _, series = ts_series
+        missing = int(stamps[0]) + 1
+        if missing in set(stamps.tolist()):
+            missing = int(stamps[-1]) + 10
+        with pytest.raises(KeyError):
+            series.value_at_time(missing)
+
+    def test_value_at_or_before(self, ts_series):
+        stamps, values, series = ts_series
+        t = int(stamps[100]) + 0
+        got_t, got_v = series.value_at_or_before(t)
+        assert got_t == stamps[100] and got_v == values[100]
+        # between two stamps -> the earlier one
+        mid = int(stamps[100]) + 1
+        if mid < int(stamps[101]):
+            got_t, _ = series.value_at_or_before(mid)
+            assert got_t == stamps[100]
+
+    def test_before_first_raises(self, ts_series):
+        stamps, _, series = ts_series
+        with pytest.raises(KeyError):
+            series.value_at_or_before(int(stamps[0]) - 1)
+
+    def test_window_matches_slice(self, ts_series):
+        stamps, values, series = ts_series
+        t0, t1 = int(stamps[200]), int(stamps[400])
+        got_t, got_v = series.window(t0, t1)
+        assert np.array_equal(got_t, stamps[200:400])
+        assert np.array_equal(got_v, values[200:400])
+
+    def test_window_empty(self, ts_series):
+        stamps, _, series = ts_series
+        got_t, got_v = series.window(int(stamps[-1]) + 5, int(stamps[-1]) + 10)
+        assert len(got_t) == 0 and len(got_v) == 0
+
+    def test_full_decompress(self, ts_series):
+        stamps, values, series = ts_series
+        got_t, got_v = series.decompress()
+        assert np.array_equal(got_t, stamps)
+        assert np.array_equal(got_v, values)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TimestampedSeries(np.array([2, 1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            TimestampedSeries(np.array([1, 1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            TimestampedSeries(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            TimestampedSeries(np.array([], dtype=np.int64),
+                              np.array([], dtype=np.int64))
+
+    def test_compresses(self, ts_series):
+        _, _, series = ts_series
+        assert series.compression_ratio() < 0.6
+
+
+class TestTieredStore:
+    def test_append_access_before_seal(self):
+        store = TieredStore(seal_threshold=100)
+        store.extend(range(50))
+        assert len(store) == 50
+        assert store.access(49) == 49
+        assert store.tier_report()["hot_blocks"] == 0
+
+    def test_sealing(self):
+        store = TieredStore(seal_threshold=100)
+        store.extend(range(250))
+        report = store.tier_report()
+        assert report["hot_blocks"] == 2
+        assert report["buffer_values"] == 50
+        assert store.access(150) == 150
+
+    def test_consolidation_preserves_data(self, rng):
+        y = np.cumsum(rng.integers(-5, 6, 1000)).astype(np.int64)
+        store = TieredStore(seal_threshold=128)
+        store.extend(y)
+        store.consolidate()
+        report = store.tier_report()
+        assert report["hot_blocks"] == 0
+        assert report["cold_values"] == (1000 // 128) * 128
+        assert np.array_equal(store.decompress(), y)
+
+    def test_consolidation_shrinks_footprint(self, rng):
+        y = (1000 * np.sin(np.arange(3000) / 40)).astype(np.int64)
+        store = TieredStore(seal_threshold=512)
+        store.extend(y)
+        before = store.size_bits()
+        store.consolidate()
+        assert store.size_bits() < before
+
+    def test_queries_across_tiers(self, rng):
+        y = np.cumsum(rng.integers(-9, 10, 900)).astype(np.int64)
+        store = TieredStore(seal_threshold=200)
+        store.extend(y[:500])
+        store.consolidate()
+        store.extend(y[500:])
+        assert np.array_equal(store.decompress(), y)
+        assert np.array_equal(store.range(350, 850), y[350:850])
+        for k in (0, 399, 400, 880):
+            assert store.access(k) == y[k]
+
+    def test_repeated_consolidation_idempotent(self, rng):
+        y = np.arange(600, dtype=np.int64)
+        store = TieredStore(seal_threshold=100)
+        store.extend(y)
+        store.consolidate()
+        store.consolidate()
+        assert np.array_equal(store.decompress(), y)
+
+    def test_access_out_of_range(self):
+        store = TieredStore()
+        store.append(1)
+        with pytest.raises(IndexError):
+            store.access(1)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TieredStore(seal_threshold=0)

@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASETS, dataset_names, load
+
+
+class TestRegistry:
+    def test_sixteen_datasets(self):
+        assert len(DATASETS) == 16
+
+    def test_paper_codes_present(self):
+        expected = {"IT", "US", "ECG", "WD", "AP", "UK", "GE", "LAT", "LON",
+                    "DP", "CT", "DU", "BT", "BW", "BM", "BP"}
+        assert set(DATASETS) == expected
+
+    def test_order_largest_first(self):
+        names = dataset_names()
+        sizes = [DATASETS[n].default_n for n in names]
+        assert sizes[0] >= sizes[-1]
+
+    def test_digits_match_paper(self):
+        paper_digits = {"IT": 2, "US": 2, "ECG": 3, "WD": 2, "AP": 5, "UK": 1,
+                        "GE": 3, "LAT": 4, "LON": 4, "DP": 3, "CT": 1,
+                        "DU": 3, "BT": 9, "BW": 7, "BM": 5, "BP": 4}
+        for name, digits in paper_digits.items():
+            assert DATASETS[name].digits == digits, name
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError, match="known"):
+            load("XX")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_generates_int64_of_requested_length(self, name):
+        y = load(name, n=500)
+        assert y.dtype == np.int64
+        assert len(y) == 500
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_deterministic(self, name):
+        assert np.array_equal(load(name, n=300), load(name, n=300))
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_nonconstant(self, name):
+        y = load(name, n=1000)
+        assert int(y.max()) > int(y.min())
+
+    def test_custom_seed_changes_output(self):
+        a = load("US", n=300, seed=1)
+        b = load("US", n=300, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_default_n_used(self):
+        y = load("BP")
+        assert len(y) == DATASETS["BP"].default_n
+
+
+class TestCharacter:
+    def test_wind_direction_in_range(self):
+        y = load("WD", n=4000)
+        degrees = y / 10.0**DATASETS["WD"].digits
+        assert degrees.min() >= 0.0
+        assert degrees.max() < 360.0
+
+    def test_stock_prices_positive(self):
+        for name in ("US", "UK", "GE", "BP"):
+            assert load(name, n=2000).min() > 0
+
+    def test_air_pressure_realistic(self):
+        y = load("AP", n=2000)
+        hpa = y / 10.0**DATASETS["AP"].digits
+        assert 900 < hpa.mean() < 1100
+
+    def test_trajectory_has_plateaus(self):
+        y = load("LAT", n=5000)
+        diffs = np.diff(y)
+        # stationary stretches -> many near-zero diffs
+        assert np.mean(np.abs(diffs) <= 2) > 0.2
+
+    def test_ecg_has_spikes(self):
+        y = load("ECG", n=4000).astype(np.float64)
+        # QRS spikes: max much larger than the standard deviation
+        assert y.max() > y.mean() + 4 * y.std()
+
+    def test_pm10_bursts_decay(self):
+        y = load("DU", n=6000).astype(np.float64)
+        assert y.max() > 5 * np.median(y)
+
+    def test_high_digit_datasets_noisy_low_bits(self):
+        # BT (9 digits): low bits are essentially random -> weak compression.
+        y = load("BT", n=2000)
+        low = y & 0xFF
+        assert len(np.unique(low)) > 200

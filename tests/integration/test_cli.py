@@ -1,0 +1,88 @@
+"""Integration tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import read_csv, write_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    values = np.cumsum(rng.integers(-50, 51, 800)).astype(np.int64)
+    path = tmp_path / "in.csv"
+    write_csv(path, values, digits=2)
+    return path, values
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, csv_file, tmp_path, capsys):
+        path, values = csv_file
+        archive = tmp_path / "out.neats"
+        restored = tmp_path / "restored.csv"
+        assert main(["compress", str(path), str(archive), "--digits", "2"]) == 0
+        assert archive.exists()
+        assert main(["decompress", str(archive), str(restored)]) == 0
+        assert np.array_equal(read_csv(restored, 2), values)
+
+    def test_custom_models(self, csv_file, tmp_path):
+        path, values = csv_file
+        archive = tmp_path / "out.neats"
+        code = main([
+            "compress", str(path), str(archive),
+            "--digits", "2", "--models", "linear",
+        ])
+        assert code == 0
+
+    def test_bitvector_rank_mode(self, csv_file, tmp_path):
+        path, _ = csv_file
+        archive = tmp_path / "out.neats"
+        assert main([
+            "compress", str(path), str(archive),
+            "--digits", "2", "--rank-mode", "bitvector",
+        ]) == 0
+
+
+class TestInfoAccess:
+    @pytest.fixture
+    def archive(self, csv_file, tmp_path):
+        path, values = csv_file
+        archive = tmp_path / "a.neats"
+        main(["compress", str(path), str(archive), "--digits", "2"])
+        return archive, values
+
+    def test_info(self, archive, capsys):
+        path, values = archive
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(values):,}" in out
+        assert "fragments" in out
+
+    def test_access(self, archive, capsys):
+        path, values = archive
+        assert main(["access", str(path), "0", "400"]) == 0
+        out = capsys.readouterr().out
+        assert f"{values[0] / 100:.2f}" in out
+        assert f"{values[400] / 100:.2f}" in out
+
+    def test_access_out_of_range(self, archive, capsys):
+        path, _ = archive
+        assert main(["access", str(path), "100000"]) == 1
+
+    def test_info_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.neats"
+        bad.write_bytes(b"garbage bytes here")
+        with pytest.raises(ValueError):
+            main(["info", str(bad)])
+
+
+class TestGenerate:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = tmp_path / "it.csv"
+        assert main(["generate", "IT", str(out), "--n", "200"]) == 0
+        values = read_csv(out, 2)
+        assert len(values) == 200
+
+    def test_generate_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "NOPE", str(tmp_path / "x.csv")])

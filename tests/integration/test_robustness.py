@@ -1,0 +1,121 @@
+"""Failure injection and adversarial-input tests."""
+
+import numpy as np
+import pytest
+
+from repro import NeaTS
+from repro.baselines import pylz
+from repro.core.storage import NeaTSStorage
+
+
+class TestCorruptArchives:
+    @pytest.fixture
+    def blob(self, smooth_series):
+        return NeaTS().compress(smooth_series).storage.to_bytes()
+
+    def test_truncated_archive_raises(self, blob):
+        for cut in (4, len(blob) // 2, len(blob) - 8):
+            with pytest.raises(Exception):
+                st = NeaTSStorage.from_bytes(blob[:cut])
+                st.decompress()  # either construction or decode must fail
+
+    def test_wrong_magic_rejected(self, blob):
+        corrupted = b"XXXXXXXX" + blob[8:]
+        with pytest.raises(ValueError):
+            NeaTSStorage.from_bytes(corrupted)
+
+    def test_cli_rejects_non_archive(self, tmp_path):
+        from repro.cli import main
+
+        f = tmp_path / "noise.bin"
+        f.write_bytes(bytes(range(256)) * 10)
+        with pytest.raises(ValueError):
+            main(["info", str(f)])
+
+
+class TestPyLZCorruption:
+    def test_truncated_stream(self):
+        blob = pylz.compress(b"the quick brown fox " * 100)
+        for cut in (1, len(blob) // 3, len(blob) - 2):
+            with pytest.raises((ValueError, IndexError)):
+                pylz.decompress(blob[:cut])
+
+    def test_bad_offset_detected(self):
+        # Hand-craft a stream with an offset pointing before the output start.
+        from repro.bits.codes import encode_varint
+
+        buf = bytearray()
+        encode_varint(100, buf)   # claimed size
+        encode_varint(2, buf)     # 2 literals
+        buf += b"ab"
+        encode_varint(50, buf)    # match length
+        encode_varint(90, buf)    # offset > produced output
+        with pytest.raises(ValueError):
+            pylz.decompress(bytes(buf))
+
+
+class TestAdversarialSeries:
+    """Inputs engineered against specific code paths."""
+
+    def test_sawtooth_forces_tiny_fragments(self):
+        y = np.tile([0, 1000, -1000, 500], 300).astype(np.int64)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_exact_function_shapes_roundtrip(self):
+        xs = np.arange(1, 1500, dtype=np.float64)
+        shapes = [
+            (7 * xs + 3),
+            (0.002 * xs * xs + 50),
+            (40 * np.sqrt(xs) + 5),
+            (100 * np.exp(0.002 * xs)),
+        ]
+        for shape in shapes:
+            y = np.round(shape).astype(np.int64)
+            c = NeaTS().compress(y)
+            assert np.array_equal(c.decompress(), y)
+            # exact shapes need few fragments (exponential data rounded to
+            # integers deviates from the ideal curve, costing a few more)
+            assert c.num_fragments <= 16
+
+    def test_step_function(self):
+        y = np.repeat(np.arange(20, dtype=np.int64) * 10**6, 100)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_single_outlier_in_smooth_data(self, smooth_series):
+        y = smooth_series.copy()
+        y[997] = 2**55
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+        assert c.access(997) == 2**55
+
+    def test_min_int_range_values(self):
+        # large magnitudes both signs; the shift must not overflow float64
+        y = np.array([-(2**52), 2**52, 0, -(2**52), 2**52] * 50,
+                     dtype=np.int64)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_supported_domain_boundary(self):
+        y = np.array([-(2**59), 2**59, 7], dtype=np.int64)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_out_of_domain_rejected(self):
+        y = np.array([1 << 61], dtype=np.int64)
+        with pytest.raises(ValueError, match="2\\^60"):
+            NeaTS().compress(y)
+
+    def test_two_points(self):
+        y = np.array([5, -5], dtype=np.int64)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    def test_alternating_max_noise(self, rng):
+        # worst case for functional approximation: pure white noise
+        y = rng.integers(-(2**30), 2**30, 1000).astype(np.int64)
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+        # incompressible data must not blow up beyond raw + small overhead
+        assert c.compression_ratio() < 1.15

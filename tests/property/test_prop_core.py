@@ -1,0 +1,126 @@
+"""Property-based tests for the NeaTS core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NeaTS, NeaTSLossy
+from repro.core.convex import RangeLineFitter
+from repro.core.models import get_model, make_approximation
+from repro.core.piecewise import piecewise_approximation
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+int_series = st.lists(
+    st.integers(-(10**9), 10**9), min_size=1, max_size=300
+).map(lambda v: np.array(v, dtype=np.int64))
+
+small_series = st.lists(
+    st.integers(-(10**4), 10**4), min_size=1, max_size=150
+).map(lambda v: np.array(v, dtype=np.int64))
+
+
+class TestLosslessInvariant:
+    @given(y=int_series)
+    @settings(**SETTINGS)
+    def test_roundtrip_any_input(self, y):
+        """THE invariant: decompress(compress(y)) == y, for any int series."""
+        c = NeaTS().compress(y)
+        assert np.array_equal(c.decompress(), y)
+
+    @given(y=small_series, data=st.data())
+    @settings(**SETTINGS)
+    def test_access_agrees_with_decompress(self, y, data):
+        c = NeaTS().compress(y)
+        k = data.draw(st.integers(0, len(y) - 1))
+        assert c.access(k) == y[k]
+
+    @given(y=small_series, data=st.data())
+    @settings(**SETTINGS)
+    def test_range_agrees_with_slice(self, y, data):
+        c = NeaTS().compress(y)
+        lo = data.draw(st.integers(0, len(y)))
+        hi = data.draw(st.integers(lo, len(y)))
+        assert np.array_equal(c.decompress_range(lo, hi), y[lo:hi])
+
+    @given(y=small_series)
+    @settings(**SETTINGS)
+    def test_serialisation_preserves_content(self, y):
+        from repro.core.storage import NeaTSStorage
+
+        c = NeaTS().compress(y)
+        st2 = NeaTSStorage.from_bytes(c.storage.to_bytes())
+        assert np.array_equal(st2.decompress(), y)
+
+
+class TestLossyInvariant:
+    @given(
+        y=small_series,
+        eps=st.floats(0.5, 1000.0, allow_nan=False),
+    )
+    @settings(**SETTINGS)
+    def test_linf_error_bound(self, y, eps):
+        series = NeaTSLossy(eps).compress(y)
+        assert series.max_error(y) <= eps + 1e-6
+
+    @given(y=small_series, eps=st.floats(1.0, 100.0))
+    @settings(**SETTINGS)
+    def test_size_positive_and_fragments_cover(self, y, eps):
+        series = NeaTSLossy(eps).compress(y)
+        assert series.size_bits() > 0
+        assert series.fragments[0].start == 0
+        assert series.fragments[-1].end == len(y)
+
+
+class TestFitterInvariants:
+    @given(
+        ranges=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(0.1, 20)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(**SETTINGS)
+    def test_accepted_prefix_always_feasible(self, ranges):
+        """Whatever prefix the fitter accepts, the returned line stabs it."""
+        fitter = RangeLineFitter()
+        accepted = []
+        t = 0.0
+        for mid, half in ranges:
+            t += 1.0
+            if not fitter.add(t, mid - half, mid + half):
+                break
+            accepted.append((t, mid - half, mid + half))
+        m, q = fitter.line()
+        for t_, lo, hi in accepted:
+            assert lo - 1e-6 <= m * t_ + q <= hi + 1e-6
+
+
+class TestPiecewiseInvariants:
+    @given(
+        y=st.lists(st.integers(0, 10**5), min_size=1, max_size=200),
+        eps=st.floats(0, 50),
+    )
+    @settings(**SETTINGS)
+    def test_fragments_partition_domain(self, y, eps):
+        z = np.array(y, dtype=np.float64) + 100.0
+        frags = piecewise_approximation(z, "linear", eps)
+        assert frags[0].start == 0
+        assert frags[-1].end == len(z)
+        assert all(a.end == b.start for a, b in zip(frags, frags[1:]))
+
+    @given(
+        y=st.lists(st.integers(0, 10**4), min_size=2, max_size=100),
+        data=st.data(),
+    )
+    @settings(**SETTINGS)
+    def test_fragment_error_bounded_every_model(self, y, data):
+        model_name = data.draw(
+            st.sampled_from(["linear", "exponential", "quadratic", "radical"])
+        )
+        eps = data.draw(st.floats(0.5, 100))
+        z = np.array(y, dtype=np.float64) + eps + 1.0
+        model = get_model(model_name)
+        fit = make_approximation(z, 0, model, eps)
+        xs = np.arange(1, fit.end + 1, dtype=np.float64)
+        err = np.max(np.abs(model.evaluate(fit.params, xs) - z[: fit.end]))
+        assert err <= eps + 1e-6
