@@ -12,21 +12,23 @@ Run with::
 
 import sys
 
-from repro.bench.registry import make_compressor
+import repro
+from repro.codecs import codec_spec
 from repro.data import DATASETS
 
 
-SPECIAL = ["Chimp128", "Chimp", "TSXor", "DAC", "Gorilla", "LeCo", "ALP"]
-GENERAL = ["Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"]
+SPECIAL = ["chimp128", "chimp", "tsxor", "dac", "gorilla", "leco", "alp"]
+GENERAL = ["xz", "brotli", "zstd", "lz4", "snappy"]
 
 
-def best_ratio(names, values, digits):
-    best_name, best_bits = None, None
-    for name in names:
-        bits = make_compressor(name, digits=digits).compress(values).size_bits()
+def best_ratio(codec_ids, values, digits):
+    best_id, best_bits = None, None
+    for cid in codec_ids:
+        params = {"digits": digits} if codec_spec(cid).needs_digits else {}
+        bits = repro.compress(values, codec=cid, **params).size_bits()
         if best_bits is None or bits < best_bits:
-            best_name, best_bits = name, bits
-    return best_name, best_bits / (64 * len(values))
+            best_id, best_bits = cid, bits
+    return best_id, best_bits / (64 * len(values))
 
 
 def main() -> None:
@@ -37,7 +39,7 @@ def main() -> None:
     print("-" * 60)
     for name, info in DATASETS.items():
         values = info.generate(min(n, info.default_n))
-        neats = make_compressor("NeaTS").compress(values)
+        neats = repro.compress(values, codec="neats")
         neats_ratio = neats.compression_ratio()
         sp_name, sp_ratio = best_ratio(SPECIAL, values, info.digits)
         gp_name, gp_ratio = best_ratio(GENERAL, values, info.digits)

@@ -1,14 +1,21 @@
-"""Quickstart: compress a time series with NeaTS, query it, persist it.
+"""Quickstart: compress a time series, query it, persist it — any codec.
+
+The whole library sits behind three calls: ``repro.compress`` (values in,
+compressed series out, any registered codec), ``repro.save`` / ``repro.open``
+(one self-describing archive format for all of them).
 
 Run with::
 
     python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import NeaTS, NeaTSLossy
-from repro.core.storage import NeaTSStorage
+import repro
+from repro import NeaTSLossy
 
 
 def main() -> None:
@@ -25,10 +32,10 @@ def main() -> None:
     values = np.round(celsius * 100).astype(np.int64)  # 2 decimal digits
 
     # --- lossless compression -------------------------------------------------
-    compressed = NeaTS().compress(values)
+    compressed = repro.compress(values)  # default codec: "neats"
     print(f"points:            {len(values):,}")
     print(f"original size:     {8 * len(values):,} bytes")
-    print(f"compressed size:   {compressed.size_bits() // 8:,} bytes")
+    print(f"compressed size:   {compressed.size_bytes():,} bytes")
     print(f"compression ratio: {100 * compressed.compression_ratio():.2f}%")
     print(f"fragments:         {compressed.num_fragments}")
 
@@ -39,11 +46,23 @@ def main() -> None:
     assert np.array_equal(compressed.decompress(), values)
     print("lossless round-trip verified")
 
-    # --- persistence -----------------------------------------------------------
-    blob = compressed.storage.to_bytes()
-    restored = NeaTSStorage.from_bytes(blob)
-    assert restored.access(777) == values[777]
-    print(f"serialised to {len(blob):,} bytes and restored")
+    # --- every codec, one API ----------------------------------------------------
+    print(f"\n{len(repro.available_codecs())} registered codecs:",
+          ", ".join(repro.available_codecs()))
+    for codec in ("gorilla", "zstd"):
+        quick = repro.compress(values, codec=codec)
+        print(f"  {codec:<8} ratio {100 * quick.compression_ratio():6.2f}%  "
+              f"access(777) = {quick.access(777)}")
+
+    # --- persistence: one archive format for all codecs ---------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "temperature.rpac"
+        nbytes = repro.save(path, compressed, digits=2)
+        archive = repro.open(path)
+        assert archive.codec_id == "neats" and archive.digits == 2
+        assert archive.access(777) == values[777]
+        print(f"\nsaved {nbytes:,} bytes, reopened as codec "
+              f"{archive.codec_id!r} with {len(archive):,} values")
 
     # --- lossy mode with an error guarantee --------------------------------------
     lossy = NeaTSLossy(eps=50).compress(values)  # +-0.50 C guarantee

@@ -16,7 +16,8 @@ import time
 
 import numpy as np
 
-from repro.bench.registry import make_compressor
+import repro
+from repro.codecs import codec_spec
 from repro.data import DATASETS
 
 
@@ -49,14 +50,14 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name in ("Gorilla", "Chimp", "Xz", "NeaTS"):
-        comp = make_compressor(name, digits=info.digits)
-        compressed = comp.compress(values)
-        ratio = compressed.size_bits() / (64 * len(values))
+    for cid in ("gorilla", "chimp", "xz", "neats"):
+        params = {"digits": info.digits} if codec_spec(cid).needs_digits else {}
+        compressed = repro.compress(values, codec=cid, **params)
+        ratio = compressed.compression_ratio()
         p_lat = time_point_queries(compressed, points)
         w_lat = time_window_queries(compressed, windows, 288)  # 24h at 5min
         print(
-            f"{name:<10} {100 * ratio:7.2f}% {1e6 * p_lat:11.1f} us "
+            f"{cid:<10} {100 * ratio:7.2f}% {1e6 * p_lat:11.1f} us "
             f"{1e6 * w_lat:11.1f} us"
         )
 

@@ -5,30 +5,71 @@ NeaTS compressor (with LeaTS and SNeaTS variants), the lossy NeaTS-L, every
 baseline of the paper's evaluation, synthetic versions of its 16 datasets,
 and a benchmark harness regenerating every table and figure.
 
+All compressors are first-class codecs behind one facade: pick any id from
+:func:`available_codecs` — ``"neats"``, ``"gorilla"``, ``"zstd"``, ... —
+compress, query, and persist through the same API.
+
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import NeaTS
+>>> import repro
 >>> y = (100 * np.sin(np.arange(5000) / 50)).astype(np.int64)
->>> c = NeaTS().compress(y)
+>>> c = repro.compress(y)                      # default codec: "neats"
 >>> bool(np.array_equal(c.decompress(), y))
 True
+>>> int(c.access(1234)) == int(y[1234])        # random access, no decode
+True
+>>> g = repro.compress(y, codec="gorilla")     # same API, any codec
+>>> c.compression_ratio() < g.compression_ratio()
+True
+
+Persistence (any codec, one self-describing archive format)::
+
+    repro.save("series.rpac", c, digits=2)
+    archive = repro.open("series.rpac")        # knows its codec and digits
+    archive.access(1234); archive.decompress_range(100, 200)
+
+Lower-level entry points remain available: :class:`NeaTS` for direct use,
+``repro.codecs`` for the registry, ``repro.bench`` for the paper's harness.
 """
 
+from .codecs import (
+    Archive,
+    available_codecs,
+    codec_spec,
+    compress,
+    get_codec,
+    open_archive,
+    register_codec,
+    save,
+)
+from .codecs import open_archive as open  # noqa: A001  (facade: repro.open)
 from .core import (
     CompressedSeries,
     LossySeries,
     NeaTS,
     NeaTSLossy,
+    TieredStore,
     default_eps_set,
 )
 from .data import dataset_names, load
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
+# NOTE: "open" is deliberately absent from __all__ — `from repro import *`
+# must not shadow the builtin; use repro.open or open_archive explicitly.
 __all__ = [
+    "compress",
+    "save",
+    "open_archive",
+    "Archive",
+    "available_codecs",
+    "codec_spec",
+    "get_codec",
+    "register_codec",
     "NeaTS",
     "NeaTSLossy",
+    "TieredStore",
     "CompressedSeries",
     "LossySeries",
     "default_eps_set",

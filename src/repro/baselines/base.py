@@ -1,9 +1,17 @@
 """Common interface implemented by every lossless compressor in the repo.
 
-The benchmark harness (``repro.bench``) drives all 13 compressors — NeaTS,
-the 7 special-purpose and the 5 general-purpose baselines — through this
-interface, so each one reports compression ratio, decompression output,
-random access, and range queries the same way the paper measures them.
+Every compressed series — NeaTS, the 7 special-purpose and the 5
+general-purpose baselines — implements :class:`Compressed`, so the benchmark
+harness (``repro.bench``), the tiered store, the CLI, and the archive
+container all drive the paper's three operations (full decompression, random
+access, range queries) plus serialisation through one protocol.
+
+Serialisation is part of the protocol: :meth:`Compressed.to_bytes` emits a
+self-describing frame (codec id + params + payload) and
+:meth:`Compressed.from_bytes` decodes a frame from *any* registered codec.
+Codecs with a compact private layout override :meth:`Compressed.to_payload`;
+everyone else inherits the generic values fallback, which round-trips by
+re-running the deterministic compressor on load.
 """
 
 from __future__ import annotations
@@ -17,6 +25,16 @@ __all__ = ["Compressed", "LosslessCompressor"]
 
 class Compressed(ABC):
     """A compressed time series supporting the paper's three operations."""
+
+    #: registry id of the codec that produced this object (set by the
+    #: registry wrapper / facade; None when constructed outside the registry)
+    codec_id: str | None = None
+    #: constructor params of that codec (JSON-serialisable)
+    codec_params: dict | None = None
+    #: True when to_payload/from_payload use a codec-specific byte layout
+    payload_is_native: bool = False
+    #: number of values, recorded at construction for O(1) metrics
+    _n: int | None = None
 
     @abstractmethod
     def size_bits(self) -> int:
@@ -39,14 +57,66 @@ class Compressed(ABC):
         """
         return self.decompress()[lo:hi]
 
+    @property
+    def n(self) -> int:
+        """Number of original values, without decompressing when recorded."""
+        if self._n is None:
+            self._n = int(len(self.decompress()))
+        return self._n
+
+    def __len__(self) -> int:
+        return self.n
+
     def size_bytes(self) -> int:
         """Compressed size in bytes, rounded up."""
         return (self.size_bits() + 7) // 8
 
     def compression_ratio(self, n: int | None = None) -> float:
-        """Compressed bits / uncompressed bits (64 per value)."""
-        n = n if n is not None else len(self.decompress())
+        """Compressed bits / uncompressed bits (64 per value) — O(1)."""
+        n = n if n is not None else self.n
         return self.size_bits() / (64 * n)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_payload(self) -> bytes:
+        """The frame payload.  Generic fallback: the (deflated) values."""
+        from ..codecs import serialize
+
+        return serialize.encode_values(self.decompress())
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a self-describing frame (codec id + params + payload)."""
+        from ..codecs import serialize
+        from ..codecs.registry import codec_spec
+
+        if self.codec_id is None:
+            raise ValueError(
+                f"{type(self).__name__} has no codec id; obtain compressed "
+                "objects through repro.compress(...) or repro.codecs.get_codec "
+                "so serialisation knows which codec to record"
+            )
+        # The native layout is only written when the registry can load it
+        # back; a codec registered without a native loader (e.g. a custom
+        # registration of a built-in compressor class) gets the generic
+        # values frame, which always round-trips.
+        spec = codec_spec(self.codec_id)
+        if self.payload_is_native and spec.load_native is not None:
+            kind, payload = serialize.KIND_NATIVE, self.to_payload()
+        else:
+            values = self.decompress()
+            if self._n is None:
+                self._n = int(len(values))
+            kind, payload = serialize.KIND_VALUES, serialize.encode_values(values)
+        return serialize.write_frame(
+            self.codec_id, self.codec_params or {}, self.n, kind, payload
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Compressed":
+        """Decode a frame produced by :meth:`to_bytes`, whatever its codec."""
+        from ..codecs.registry import load_compressed
+
+        return load_compressed(data)
 
 
 class LosslessCompressor(ABC):

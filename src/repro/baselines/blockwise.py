@@ -10,6 +10,7 @@ covering blocks.
 
 from __future__ import annotations
 
+import struct
 from collections.abc import Callable
 
 import numpy as np
@@ -37,6 +38,8 @@ class ByteCompressor:
 
 class BlockwiseCompressed(Compressed):
     """Compressed blocks + pointer array, as described in the paper."""
+
+    payload_is_native = True
 
     def __init__(
         self, codec: ByteCompressor, blocks: list[bytes], n: int, block_size: int
@@ -89,6 +92,33 @@ class BlockwiseCompressed(Compressed):
         vals = np.concatenate(parts) if len(parts) > 1 else parts[0]
         base = first * self._block_size
         return vals[lo - base : hi - base].copy()
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: the compressed blocks, length-prefixed."""
+        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        for block in self._blocks:
+            parts.append(struct.pack("<q", len(block)))
+            parts.append(block)
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, codec: ByteCompressor) -> "BlockwiseCompressed":
+        """Rebuild from :meth:`to_payload` output plus the byte codec."""
+        if len(payload) < 24:
+            raise ValueError("corrupt block-wise payload: header incomplete")
+        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        pos = 24
+        blocks: list[bytes] = []
+        for _ in range(nblocks):
+            if pos + 8 > len(payload):
+                raise ValueError("corrupt block-wise payload: truncated block")
+            (length,) = struct.unpack_from("<q", payload, pos)
+            pos += 8
+            if length < 0 or pos + length > len(payload):
+                raise ValueError("corrupt block-wise payload: bad block length")
+            blocks.append(payload[pos : pos + length])
+            pos += length
+        return cls(codec, blocks, n, block_size)
 
 
 class BlockwiseCompressor(LosslessCompressor):

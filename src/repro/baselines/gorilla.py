@@ -16,6 +16,8 @@ the block-wise adapter like all XOR compressors (§IV-A2).
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from ..bits import BitReader, BitWriter
@@ -94,6 +96,8 @@ def gorilla_decode(reader: BitReader, count: int) -> list[int]:
 class _XorBlockCompressed(Compressed):
     """Shared container for block-encoded XOR streams (Gorilla/Chimp/...)."""
 
+    payload_is_native = True
+
     def __init__(self, blocks, n, block_size, decode_fn):
         self._blocks = blocks  # list of (words, bit_length, count)
         self._n = n
@@ -132,6 +136,36 @@ class _XorBlockCompressed(Compressed):
         base = first * self._block_size
         arr = np.array(vals, dtype=np.uint64).astype(np.int64)
         return arr[lo - base : hi - base]
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: per-block XOR bit streams."""
+        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        for words, bit_length, count in self._blocks:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            parts.append(struct.pack("<qqq", count, bit_length, len(words)))
+            parts.append(words.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, decode_fn) -> "_XorBlockCompressed":
+        """Rebuild from :meth:`to_payload` output plus the family's decoder."""
+        if len(payload) < 24:
+            raise ValueError("corrupt XOR payload: header incomplete")
+        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        pos = 24
+        blocks = []
+        for _ in range(nblocks):
+            if pos + 24 > len(payload):
+                raise ValueError("corrupt XOR payload: truncated block header")
+            count, bit_length, nwords = struct.unpack_from("<qqq", payload, pos)
+            pos += 24
+            end = pos + 8 * nwords
+            if nwords < 0 or end > len(payload):
+                raise ValueError("corrupt XOR payload: bad block length")
+            words = np.frombuffer(payload, dtype=np.uint64, count=nwords, offset=pos)
+            blocks.append((words.copy(), bit_length, count))
+            pos = end
+        return cls(blocks, n, block_size, decode_fn)
 
 
 class GorillaCompressor(LosslessCompressor):

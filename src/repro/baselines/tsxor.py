@@ -15,6 +15,8 @@ original paper; the window scan is vectorised here with numpy.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from .base import Compressed, LosslessCompressor
@@ -122,6 +124,8 @@ def tsxor_decode(data: bytes, count: int) -> np.ndarray:
 
 
 class _TSXorCompressed(Compressed):
+    payload_is_native = True
+
     def __init__(self, blocks: list[tuple[bytes, int]], n: int, block_size: int):
         self._blocks = blocks
         self._n = n
@@ -148,6 +152,33 @@ class _TSXorCompressed(Compressed):
         vals = np.concatenate(parts).astype(np.int64)
         base = first * self._block_size
         return vals[lo - base : hi - base]
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: the byte-aligned TSXor streams per block."""
+        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        for blob, count in self._blocks:
+            parts.append(struct.pack("<qq", count, len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "_TSXorCompressed":
+        """Rebuild from :meth:`to_payload` output (no context needed)."""
+        if len(payload) < 24:
+            raise ValueError("corrupt TSXor payload: header incomplete")
+        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        pos = 24
+        blocks = []
+        for _ in range(nblocks):
+            if pos + 16 > len(payload):
+                raise ValueError("corrupt TSXor payload: truncated block header")
+            count, length = struct.unpack_from("<qq", payload, pos)
+            pos += 16
+            if length < 0 or pos + length > len(payload):
+                raise ValueError("corrupt TSXor payload: bad block length")
+            blocks.append((payload[pos : pos + length], count))
+            pos += length
+        return cls(blocks, n, block_size)
 
 
 class TSXorCompressor(LosslessCompressor):

@@ -1,30 +1,21 @@
-"""The compressor line-up of the paper's evaluation (§IV-A2).
+"""The compressor line-up of the paper's evaluation (§IV-A2) — a thin shim.
 
-Factories take the dataset's decimal ``digits`` (only ALP uses it) and return
-a fresh compressor.  Order matches Table III: 5 general-purpose, then the
+The codecs themselves live in the first-class registry of
+:mod:`repro.codecs`; this module only maps the paper's Table III display
+names (``"Xz"``, ``"Brotli*"``, ..., ``"NeaTS"``) onto stable codec ids and
+keeps the historical benchmark API (:func:`make_compressor`, ``ALL_NAMES``)
+working.  Order matches Table III: 5 general-purpose, then the
 special-purpose family with NeaTS last.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..baselines import (
-    AlpCompressor,
-    BrotliLikeCompressor,
-    Chimp128Compressor,
-    ChimpCompressor,
-    DacCompressor,
-    GorillaCompressor,
-    LeCoCompressor,
-    Lz4LikeCompressor,
-    SnappyLikeCompressor,
-    TSXorCompressor,
-    XzCompressor,
-    ZstdLikeCompressor,
+from ..codecs import codec_spec, get_codec
+from ..codecs.adapters import (
+    LeaTSCompressor,
+    NeaTSCompressor,
+    SNeaTSCompressor,
 )
-from ..baselines.base import LosslessCompressor
-from ..core import NeaTS
 
 __all__ = [
     "NeaTSCompressor",
@@ -33,45 +24,9 @@ __all__ = [
     "GENERAL_NAMES",
     "SPECIAL_NAMES",
     "ALL_NAMES",
+    "TABLE_TO_CODEC_ID",
     "make_compressor",
 ]
-
-
-class NeaTSCompressor(LosslessCompressor):
-    """Adapter presenting :class:`~repro.core.NeaTS` as a baseline-style compressor."""
-
-    name = "NeaTS"
-    native_random_access = True
-
-    def __init__(self, **kwargs) -> None:
-        self._inner = NeaTS(**kwargs)
-
-    def compress(self, values: np.ndarray):
-        return self._inner.compress(self._check_input(values))
-
-
-class LeaTSCompressor(NeaTSCompressor):
-    """LeaTS: the linear-only variant (§IV-C1)."""
-
-    name = "LeaTS"
-
-    def __init__(self, **kwargs) -> None:
-        kwargs.setdefault("models", ("linear",))
-        super().__init__(**kwargs)
-
-
-class SNeaTSCompressor(LosslessCompressor):
-    """SNeaTS: model selection on the first 10% of the series (§IV-C1)."""
-
-    name = "SNeaTS"
-    native_random_access = True
-
-    def __init__(self, **kwargs) -> None:
-        self._inner = NeaTS.with_model_selection(**kwargs)
-
-    def compress(self, values: np.ndarray):
-        return self._inner.compress(self._check_input(values))
-
 
 GENERAL_NAMES = ["Xz", "Brotli*", "Zstd*", "Lz4*", "Snappy*"]
 SPECIAL_NAMES = [
@@ -86,30 +41,37 @@ SPECIAL_NAMES = [
 ]
 ALL_NAMES = GENERAL_NAMES + SPECIAL_NAMES
 
-_FACTORIES = {
-    "Xz": lambda digits: XzCompressor(),
-    "Brotli*": lambda digits: BrotliLikeCompressor(),
-    "Zstd*": lambda digits: ZstdLikeCompressor(),
-    "Lz4*": lambda digits: Lz4LikeCompressor(),
-    "Snappy*": lambda digits: SnappyLikeCompressor(),
-    "Chimp128": lambda digits: Chimp128Compressor(),
-    "Chimp": lambda digits: ChimpCompressor(),
-    "TSXor": lambda digits: TSXorCompressor(),
-    "DAC": lambda digits: DacCompressor(),
-    "Gorilla": lambda digits: GorillaCompressor(),
-    "LeCo": lambda digits: LeCoCompressor(),
-    "ALP": lambda digits: AlpCompressor(digits=digits),
-    "NeaTS": lambda digits: NeaTSCompressor(),
-    "LeaTS": lambda digits: LeaTSCompressor(),
-    "SNeaTS": lambda digits: SNeaTSCompressor(),
+#: Table III display name -> codec registry id
+TABLE_TO_CODEC_ID = {
+    "Xz": "xz",
+    "Brotli*": "brotli",
+    "Zstd*": "zstd",
+    "Lz4*": "lz4",
+    "Snappy*": "snappy",
+    "Chimp128": "chimp128",
+    "Chimp": "chimp",
+    "TSXor": "tsxor",
+    "DAC": "dac",
+    "Gorilla": "gorilla",
+    "LeCo": "leco",
+    "ALP": "alp",
+    "NeaTS": "neats",
+    "LeaTS": "leats",
+    "SNeaTS": "sneats",
 }
 
 
 def make_compressor(name: str, digits: int = 0):
-    """Instantiate a compressor from the Table III line-up by name."""
+    """Instantiate a compressor from the Table III line-up by name.
+
+    Accepts both the paper's display names (``"Brotli*"``) and registry ids
+    (``"brotli"``); ``digits`` is forwarded to codecs that consume it (ALP).
+    """
+    codec_id = TABLE_TO_CODEC_ID.get(name, name)
     try:
-        return _FACTORIES[name](digits)
-    except KeyError:
-        raise ValueError(
-            f"unknown compressor {name!r}; known: {', '.join(_FACTORIES)}"
-        ) from None
+        spec = codec_spec(codec_id)
+    except ValueError:
+        known = ", ".join(list(TABLE_TO_CODEC_ID))
+        raise ValueError(f"unknown compressor {name!r}; known: {known}") from None
+    params = {"digits": digits} if spec.needs_digits else {}
+    return get_codec(codec_id, **params)

@@ -2,11 +2,17 @@
 
 Usage::
 
-    python -m repro compress   input.csv  output.neats  --digits 2
-    python -m repro decompress output.neats restored.csv
-    python -m repro info       output.neats
-    python -m repro access     output.neats 12345
+    python -m repro compress   input.csv  output.rpac --digits 2
+    python -m repro compress   input.csv  output.rpac --codec gorilla
+    python -m repro decompress output.rpac restored.csv
+    python -m repro info       output.rpac
+    python -m repro access     output.rpac 12345
     python -m repro generate   IT out.csv --n 10000
+
+Any codec from ``repro.codecs.available_codecs()`` can write an archive; the
+self-describing container records which one, so ``decompress``, ``info`` and
+``access`` need no codec flag.  Archives produced by older versions (magic
+``NTSF0001``) remain readable.
 
 CSV files hold one fixed-precision decimal per line (the paper's dataset
 interchange format); ``--digits`` controls the decimal scaling of §II.
@@ -15,88 +21,93 @@ interchange format); ``--digits`` controls the decimal scaling of §II.
 from __future__ import annotations
 
 import argparse
-import struct
 import sys
 import time
 from pathlib import Path
 
-import numpy as np
-
-from .core import NeaTS
-from .core.storage import NeaTSStorage
+from .codecs import available_codecs, codec_spec, compress, open_archive, save
 from .data import DATASETS, load, read_csv, write_csv
 
 __all__ = ["main"]
 
-_FILE_MAGIC = b"NTSF0001"
+_NEATS_FAMILY = ("neats", "leats", "sneats")
 
 
-def _write_archive(path: Path, storage: NeaTSStorage, digits: int) -> None:
-    payload = storage.to_bytes()
-    with path.open("wb") as fh:
-        fh.write(_FILE_MAGIC)
-        fh.write(struct.pack("<i", digits))
-        fh.write(payload)
-
-
-def _read_archive(path: Path) -> tuple[NeaTSStorage, int]:
-    data = Path(path).read_bytes()
-    if data[:8] != _FILE_MAGIC:
-        raise ValueError(f"{path}: not a NeaTS archive")
-    (digits,) = struct.unpack_from("<i", data, 8)
-    return NeaTSStorage.from_bytes(data[12:]), digits
+def _codec_params(args) -> dict:
+    """Translate CLI flags into codec constructor params."""
+    params: dict = {}
+    if args.codec in _NEATS_FAMILY:
+        if args.models:
+            params["models"] = tuple(args.models.split(","))
+        if args.rank_mode != "ef":
+            params["rank_mode"] = args.rank_mode
+    elif args.models or args.rank_mode != "ef":
+        print(
+            f"warning: --models/--rank-mode only apply to the NeaTS family, "
+            f"ignored for codec {args.codec!r}",
+            file=sys.stderr,
+        )
+    if codec_spec(args.codec).needs_digits:
+        params["digits"] = args.digits
+    return params
 
 
 def _cmd_compress(args) -> int:
     values = read_csv(args.input, args.digits)
+    params = _codec_params(args)
     t0 = time.perf_counter()
-    compressor = NeaTS(
-        models=tuple(args.models.split(",")) if args.models else
-        ("linear", "exponential", "quadratic", "radical"),
-        rank_mode=args.rank_mode,
-    )
-    compressed = compressor.compress(values)
+    compressed = compress(values, codec=args.codec, **params)
     elapsed = time.perf_counter() - t0
-    _write_archive(Path(args.output), compressed.storage, args.digits)
+    save(Path(args.output), compressed, digits=args.digits)
     raw = 8 * len(values)
     size = Path(args.output).stat().st_size
-    print(f"{len(values):,} values -> {size:,} bytes "
-          f"({100 * size / raw:.2f}% of raw) in {elapsed:.2f}s, "
-          f"{compressed.num_fragments} fragments")
+    line = (f"{len(values):,} values -> {size:,} bytes "
+            f"({100 * size / raw:.2f}% of raw) in {elapsed:.2f}s "
+            f"[{args.codec}]")
+    if hasattr(compressed, "num_fragments"):
+        line += f", {compressed.num_fragments} fragments"
+    print(line)
     return 0
 
 
 def _cmd_decompress(args) -> int:
-    storage, digits = _read_archive(Path(args.input))
-    values = storage.decompress()
-    write_csv(args.output, values, digits)
+    archive = open_archive(Path(args.input))
+    values = archive.decompress()
+    write_csv(args.output, values, archive.digits)
     print(f"restored {len(values):,} values to {args.output}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    storage, digits = _read_archive(Path(args.input))
-    print(f"values:        {storage.n:,}")
-    print(f"fragments:     {storage.m:,}")
-    print(f"decimal digits: {digits}")
-    print(f"model kinds:   {', '.join(storage.model_names)}")
-    print(f"rank mode:     {storage.rank_mode}")
-    print(f"size:          {storage.size_bytes():,} bytes "
-          f"({100 * storage.size_bits() / (64 * storage.n):.2f}% of raw)")
-    widths = storage._widths_list
-    print(f"correction widths: min {min(widths)} / max {max(widths)} bits")
+    archive = open_archive(Path(args.input))
+    compressed = archive.compressed
+    print(f"codec:         {archive.codec_id}")
+    if archive.params:
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(archive.params.items()))
+        print(f"codec params:  {shown}")
+    print(f"values:        {len(archive):,}")
+    print(f"decimal digits: {archive.digits}")
+    print(f"size:          {archive.size_bytes():,} bytes "
+          f"({100 * archive.compression_ratio():.2f}% of raw)")
+    storage = getattr(compressed, "storage", None)
+    if storage is not None:
+        print(f"fragments:     {storage.m:,}")
+        print(f"model kinds:   {', '.join(storage.model_names)}")
+        print(f"rank mode:     {storage.rank_mode}")
+        widths = storage._widths_list
+        print(f"correction widths: min {min(widths)} / max {max(widths)} bits")
     return 0
 
 
 def _cmd_access(args) -> int:
-    storage, digits = _read_archive(Path(args.input))
+    archive = open_archive(Path(args.input))
+    n = len(archive)
     for k in args.positions:
-        if not 0 <= k < storage.n:
-            print(f"position {k}: out of range [0, {storage.n})",
-                  file=sys.stderr)
+        if not 0 <= k < n:
+            print(f"position {k}: out of range [0, {n})", file=sys.stderr)
             return 1
-        value = storage.access(k)
-        print(f"[{k}] {value / 10**digits:.{digits}f}")
+        value = archive.access(k)
+        print(f"[{k}] {value / 10**archive.digits:.{archive.digits}f}")
     return 0
 
 
@@ -116,22 +127,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compress", help="CSV -> NeaTS archive")
+    p = sub.add_parser("compress", help="CSV -> compressed archive")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--codec", default="neats", choices=available_codecs(),
+                   help="codec id from the registry (default: neats)")
     p.add_argument("--digits", type=int, default=0,
                    help="fractional decimal digits of the input values")
     p.add_argument("--models", default=None,
-                   help="comma-separated model kinds (default: paper's four)")
-    p.add_argument("--rank-mode", choices=("ef", "bitvector"), default="ef")
+                   help="NeaTS family: comma-separated model kinds "
+                        "(default: paper's four)")
+    p.add_argument("--rank-mode", choices=("ef", "bitvector"), default="ef",
+                   help="NeaTS family: fragment rank structure")
     p.set_defaults(func=_cmd_compress)
 
-    p = sub.add_parser("decompress", help="NeaTS archive -> CSV")
+    p = sub.add_parser("decompress", help="archive -> CSV")
     p.add_argument("input")
     p.add_argument("output")
     p.set_defaults(func=_cmd_decompress)
 
-    p = sub.add_parser("info", help="describe a NeaTS archive")
+    p = sub.add_parser("info", help="describe an archive")
     p.add_argument("input")
     p.set_defaults(func=_cmd_info)
 

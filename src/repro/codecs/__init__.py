@@ -1,0 +1,63 @@
+"""First-class codecs: registry, unified serialisation, archive container.
+
+The public surface of the codec subsystem:
+
+* :func:`get_codec` / :func:`available_codecs` / :func:`register_codec` —
+  the codec registry (stable string ids + capability flags);
+* :func:`compress` — the one-call facade: values in, ``Compressed`` out,
+  tagged with the provenance that makes serialisation self-describing;
+* :func:`save` / :func:`open_archive` — the on-disk container
+  (re-exported at top level as ``repro.save`` / ``repro.open``).
+
+>>> import numpy as np
+>>> from repro.codecs import compress
+>>> c = compress(np.arange(500, dtype=np.int64), codec="gorilla")
+>>> from repro.baselines.base import Compressed
+>>> bool(np.array_equal(Compressed.from_bytes(c.to_bytes()).decompress(),
+...                     c.decompress()))
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .container import ARCHIVE_MAGIC, LEGACY_MAGIC, Archive, open_archive, save
+from .registry import (
+    CodecSpec,
+    available_codecs,
+    codec_spec,
+    get_codec,
+    load_compressed,
+    register_codec,
+    unregister_codec,
+)
+
+__all__ = [
+    "compress",
+    "get_codec",
+    "available_codecs",
+    "codec_spec",
+    "register_codec",
+    "unregister_codec",
+    "load_compressed",
+    "CodecSpec",
+    "Archive",
+    "save",
+    "open_archive",
+    "ARCHIVE_MAGIC",
+    "LEGACY_MAGIC",
+]
+
+
+def compress(values, codec: str = "neats", **params):
+    """Compress ``values`` with the codec registered under ``codec``.
+
+    ``params`` are forwarded to the codec's factory (e.g. ``digits=2`` for
+    ``alp``, ``block_size=500`` for the block-wise codecs, ``models=...`` for
+    the NeaTS family).  The returned object implements the full
+    :class:`~repro.baselines.base.Compressed` protocol — ``decompress()``,
+    ``access()``, ``decompress_range()``, ``size_bits()``, ``to_bytes()`` —
+    and records its codec id and params for self-describing persistence.
+    """
+    return get_codec(codec, **params).compress(np.asarray(values))

@@ -1,0 +1,146 @@
+"""The on-disk archive container: ``repro.save`` / ``repro.open``.
+
+A repro archive is a self-describing file holding one compressed time series
+from *any* registered codec::
+
+    +----------+--------+-------+-----------+--------------------------+
+    | RPAC0001 | digits | crc32 | frame len | codec frame (serialize)  |
+    +----------+--------+-------+-----------+--------------------------+
+
+The inner frame records the codec id, its parameters, and the payload, so
+``repro.open`` needs no out-of-band knowledge; the crc32 catches bit rot and
+truncation before any codec parsing runs.  ``digits`` is the dataset's
+decimal scaling (§II of the paper), kept at the container level because it
+describes the *values*, not the codec.
+
+Archives written by the seed CLI (magic ``NTSF0001``, NeaTS-only) remain
+readable: :func:`open_archive` transparently upgrades them to a
+:class:`~repro.core.compressor.CompressedSeries` tagged as ``neats``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.base import Compressed
+from .registry import load_compressed
+
+__all__ = ["ARCHIVE_MAGIC", "LEGACY_MAGIC", "Archive", "save", "open_archive"]
+
+ARCHIVE_MAGIC = b"RPAC0001"
+LEGACY_MAGIC = b"NTSF0001"
+
+_HEADER = struct.Struct("<8siIQ")  # magic, digits, crc32(frame), frame length
+
+
+@dataclass
+class Archive:
+    """An opened archive: the compressed series plus container metadata.
+
+    Delegates the :class:`Compressed` query protocol, so an archive can be
+    used wherever a compressed series can.
+    """
+
+    compressed: Compressed
+    digits: int = 0
+    codec_id: str = ""
+    params: dict = field(default_factory=dict)
+    path: Path | None = None
+
+    def decompress(self) -> np.ndarray:
+        """The original int64 values."""
+        return self.compressed.decompress()
+
+    def access(self, k: int) -> int:
+        """Random access to position ``k``."""
+        return self.compressed.access(k)
+
+    def decompress_range(self, lo: int, hi: int) -> np.ndarray:
+        """Values at positions ``[lo, hi)``."""
+        return self.compressed.decompress_range(lo, hi)
+
+    def size_bits(self) -> int:
+        """Compressed size in bits (of the in-memory representation)."""
+        return self.compressed.size_bits()
+
+    def size_bytes(self) -> int:
+        """Compressed size in bytes, rounded up."""
+        return self.compressed.size_bytes()
+
+    def compression_ratio(self, n: int | None = None) -> float:
+        """Compressed bits / uncompressed bits."""
+        return self.compressed.compression_ratio(n)
+
+    def values(self) -> np.ndarray:
+        """The decoded series as floats, decimal scaling applied."""
+        return self.compressed.decompress() / 10.0**self.digits
+
+    def __len__(self) -> int:
+        return len(self.compressed)
+
+
+def save(path, compressed: Compressed, digits: int = 0) -> int:
+    """Write ``compressed`` to ``path`` as a self-describing archive.
+
+    Returns the number of bytes written.  Accepts any object implementing
+    the :class:`Compressed` serialisation protocol (or an :class:`Archive`,
+    unwrapped transparently).
+    """
+    if isinstance(compressed, Archive):
+        digits = digits or compressed.digits
+        compressed = compressed.compressed
+    frame = compressed.to_bytes()
+    blob = _HEADER.pack(ARCHIVE_MAGIC, digits, zlib.crc32(frame), len(frame)) + frame
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def open_archive(path) -> Archive:
+    """Read an archive written by :func:`save` (or by the legacy seed CLI)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) >= 8 and data[:8] == LEGACY_MAGIC:
+        return _open_legacy(path, data)
+    if len(data) < _HEADER.size:
+        raise ValueError(f"{path}: not a repro archive (file too short)")
+    magic, digits, crc, frame_len = _HEADER.unpack_from(data)
+    if magic != ARCHIVE_MAGIC:
+        raise ValueError(f"{path}: not a repro archive (bad magic)")
+    frame = data[_HEADER.size :]
+    if len(frame) != frame_len:
+        raise ValueError(
+            f"{path}: truncated or padded archive "
+            f"(header says {frame_len} frame bytes, found {len(frame)})"
+        )
+    if zlib.crc32(frame) != crc:
+        raise ValueError(f"{path}: archive checksum mismatch (corrupt payload)")
+    compressed = load_compressed(frame)
+    return Archive(
+        compressed=compressed,
+        digits=digits,
+        codec_id=compressed.codec_id or "",
+        params=dict(compressed.codec_params or {}),
+        path=path,
+    )
+
+
+def _open_legacy(path: Path, data: bytes) -> Archive:
+    """Decode the seed CLI's ``NTSF0001`` format (NeaTS storage + digits)."""
+    from ..core.compressor import CompressedSeries
+    from ..core.storage import NeaTSStorage
+
+    if len(data) < 12:
+        raise ValueError(f"{path}: truncated legacy NeaTS archive")
+    (digits,) = struct.unpack_from("<i", data, 8)
+    storage = NeaTSStorage.from_bytes(data[12:])
+    compressed = CompressedSeries(storage, [], 64 * storage.n)
+    compressed.codec_id = "neats"
+    compressed.codec_params = {}
+    return Archive(
+        compressed=compressed, digits=digits, codec_id="neats", params={}, path=path
+    )

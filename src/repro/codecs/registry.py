@@ -1,0 +1,186 @@
+"""First-class codec registry: every compressor in the repo, by stable id.
+
+The paper's deployment story (§IV-C1) treats compressors as interchangeable
+parts — a cheap streaming codec at ingest, NeaTS at rest.  This registry is
+the API that makes them interchangeable: each codec registers under a stable
+string id with its capability flags, and anything in the system (the CLI, the
+tiered store, the benchmark harness, archives on disk) refers to codecs by id
+only.
+
+>>> from repro.codecs import available_codecs, get_codec
+>>> "neats" in available_codecs() and "gorilla" in available_codecs()
+True
+>>> import numpy as np
+>>> c = get_codec("gorilla").compress(np.arange(100, dtype=np.int64))
+>>> c.codec_id
+'gorilla'
+
+Registering a codec::
+
+    @register_codec("mycodec", native_random_access=True)
+    def make_mycodec(**params):
+        return MyCompressor(**params)
+
+The factory returns a fresh compressor (anything with a ``compress(values)``
+method producing a :class:`~repro.baselines.base.Compressed`).  The registry
+wraps ``compress`` so every produced object carries its codec id and params —
+that provenance is what makes the framed serialisation self-describing.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from . import serialize
+
+__all__ = [
+    "CodecSpec",
+    "register_codec",
+    "unregister_codec",
+    "get_codec",
+    "available_codecs",
+    "codec_spec",
+    "load_compressed",
+]
+
+_ID_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Registry entry: identity, factory, and capability flags of one codec."""
+
+    codec_id: str
+    factory: Callable
+    #: display name in the paper's Table III line-up (benchmark rendering)
+    table_name: str = ""
+    #: random access without a block-wise adapter (paper §IV-A2)
+    native_random_access: bool = False
+    #: reconstruction is approximate (error-bounded), not bit-exact
+    lossy: bool = False
+    #: the codec consumes the dataset's decimal ``digits`` scaling
+    needs_digits: bool = False
+    description: str = ""
+    #: parse a native frame payload back into a Compressed (None = values-only)
+    load_native: Callable | None = field(default=None, compare=False)
+
+
+_REGISTRY: dict[str, CodecSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in line-up on first use (breaks the import cycle)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from . import adapters  # noqa: F401  (registers on import)
+
+
+def register_codec(
+    codec_id: str,
+    *,
+    table_name: str = "",
+    native_random_access: bool = False,
+    lossy: bool = False,
+    needs_digits: bool = False,
+    description: str = "",
+    load_native: Callable | None = None,
+    overwrite: bool = False,
+):
+    """Class/function decorator registering a codec factory under ``codec_id``."""
+    if not _ID_RE.match(codec_id):
+        raise ValueError(
+            f"invalid codec id {codec_id!r}: use lowercase letters, digits, '_'"
+        )
+
+    def deco(factory: Callable) -> Callable:
+        if codec_id in _REGISTRY and not overwrite:
+            raise ValueError(f"codec id {codec_id!r} is already registered")
+        _REGISTRY[codec_id] = CodecSpec(
+            codec_id=codec_id,
+            factory=factory,
+            table_name=table_name or codec_id,
+            native_random_access=native_random_access,
+            lossy=lossy,
+            needs_digits=needs_digits,
+            description=description or (factory.__doc__ or "").strip().split("\n")[0],
+            load_native=load_native,
+        )
+        return factory
+
+    return deco
+
+
+def unregister_codec(codec_id: str) -> None:
+    """Remove a codec (mainly for tests registering throwaway codecs)."""
+    _ensure_builtins()
+    _REGISTRY.pop(codec_id, None)
+
+
+def codec_spec(name: str) -> CodecSpec:
+    """The :class:`CodecSpec` registered under ``name``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown codec {name!r}; known: {known}") from None
+
+
+def available_codecs() -> list[str]:
+    """Sorted ids of every registered codec."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_codec(name: str, **params):
+    """A fresh compressor for codec ``name``, configured with ``params``.
+
+    The returned compressor's ``compress`` is wrapped so every compressed
+    object it produces records ``codec_id`` and ``codec_params`` — the
+    provenance that :meth:`Compressed.to_bytes` and the archive container
+    embed in their self-describing headers.
+    """
+    spec = codec_spec(name)
+    try:
+        compressor = spec.factory(**params)
+    except TypeError as exc:
+        raise TypeError(f"codec {name!r}: {exc}") from exc
+
+    inner = compressor.compress
+
+    def compress_with_provenance(values):
+        compressed = inner(values)
+        compressed.codec_id = spec.codec_id
+        compressed.codec_params = dict(params)
+        return compressed
+
+    compressor.compress = compress_with_provenance
+    return compressor
+
+
+def load_compressed(data: bytes):
+    """Decode a codec frame (``Compressed.to_bytes`` output) back to an object.
+
+    Native payloads parse directly; generic ``values`` payloads re-run the
+    recorded codec deterministically, reproducing the identical compressed
+    object.
+    """
+    frame = serialize.read_frame(data)
+    spec = codec_spec(frame.codec_id)
+    if frame.native:
+        if spec.load_native is None:
+            raise ValueError(
+                f"codec {frame.codec_id!r} has no native payload loader; "
+                "the frame is corrupt or from an incompatible version"
+            )
+        compressed = spec.load_native(frame.payload, frame.params)
+    else:
+        values = serialize.decode_values(frame.payload, frame.n)
+        compressed = get_codec(frame.codec_id, **frame.params).compress(values)
+    compressed.codec_id = frame.codec_id
+    compressed.codec_params = dict(frame.params)
+    return compressed

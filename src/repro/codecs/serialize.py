@@ -1,0 +1,141 @@
+"""The codec frame: the self-describing serialised form of a ``Compressed``.
+
+Every compressed series in the repo serialises to the same framed layout,
+so a byte string is decodable without knowing in advance which of the 13+
+codecs produced it::
+
+    +------+---------+------+--------------+----------------+-----+-------------+
+    | RPCF | version | kind | codec id len | params json len|  n  | payload len |
+    +------+---------+------+--------------+----------------+-----+-------------+
+    | codec id (utf-8) | params (json, utf-8) | payload ...                     |
+    +---------------------------------------------------------------------------+
+
+Two payload kinds exist:
+
+* ``native`` — a codec-specific byte layout (NeaTS storage, block-wise
+  pointers, XOR streams); loading is a direct parse, no recompression.
+* ``values`` — the generic fallback: the original int64 values, delta-coded
+  and deflated.  Loading re-runs the (deterministic) compressor with the
+  recorded parameters, which reproduces the exact same compressed object —
+  identical ``decompress()``, ``access()``, and ``size_bits()``.
+
+The frame is what :meth:`repro.baselines.base.Compressed.to_bytes` emits and
+what the archive container of :mod:`repro.codecs.container` wraps on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "KIND_NATIVE",
+    "KIND_VALUES",
+    "Frame",
+    "write_frame",
+    "read_frame",
+    "encode_values",
+    "decode_values",
+]
+
+FRAME_MAGIC = b"RPCF"
+FRAME_VERSION = 1
+
+KIND_VALUES = 0
+KIND_NATIVE = 1
+
+_HEADER = struct.Struct("<4sBBHIqQ")  # magic, version, kind, idlen, plen, n, paylen
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A parsed codec frame."""
+
+    codec_id: str
+    params: dict
+    n: int
+    kind: int
+    payload: bytes
+
+    @property
+    def native(self) -> bool:
+        """Whether the payload uses the codec's own byte layout."""
+        return self.kind == KIND_NATIVE
+
+
+def write_frame(
+    codec_id: str, params: dict, n: int, kind: int, payload: bytes
+) -> bytes:
+    """Assemble a frame byte string."""
+    if kind not in (KIND_VALUES, KIND_NATIVE):
+        raise ValueError(f"unknown frame kind {kind!r}")
+    cid = codec_id.encode("utf-8")
+    try:
+        pjson = json.dumps(params or {}, sort_keys=True).encode("utf-8")
+    except TypeError as exc:
+        raise ValueError(
+            f"codec params for {codec_id!r} are not JSON-serialisable: {params!r}"
+        ) from exc
+    header = _HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION, kind, len(cid), len(pjson), n, len(payload)
+    )
+    return header + cid + pjson + payload
+
+
+def read_frame(data: bytes) -> Frame:
+    """Parse a frame byte string, validating structure and lengths."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated codec frame: header incomplete")
+    magic, version, kind, idlen, plen, n, paylen = _HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise ValueError("not a repro codec frame (bad magic)")
+    if version != FRAME_VERSION:
+        raise ValueError(f"unsupported codec frame version {version}")
+    if kind not in (KIND_VALUES, KIND_NATIVE):
+        raise ValueError(f"corrupt codec frame: unknown payload kind {kind}")
+    pos = _HEADER.size
+    end = pos + idlen + plen + paylen
+    if len(data) != end:
+        raise ValueError(
+            f"truncated codec frame: expected {end} bytes, got {len(data)}"
+        )
+    codec_id = data[pos : pos + idlen].decode("utf-8")
+    pos += idlen
+    try:
+        params = json.loads(data[pos : pos + plen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError("corrupt codec frame: bad params block") from exc
+    if not isinstance(params, dict):
+        raise ValueError("corrupt codec frame: params must be an object")
+    pos += plen
+    return Frame(codec_id, params, n, kind, data[pos:])
+
+
+def encode_values(values: np.ndarray) -> bytes:
+    """The generic payload: delta-coded int64 values, deflated."""
+    values = np.asarray(values, dtype=np.int64)
+    # Deltas concentrate the entropy for the smooth series this repo targets;
+    # the cast wraps on int64 overflow and unwraps identically on decode.
+    # The implicit 0 prefix makes the first delta the first value itself.
+    deltas = np.diff(values, prepend=np.zeros(1, dtype=np.int64)).astype(np.int64)
+    return zlib.compress(deltas.tobytes(), 6)
+
+
+def decode_values(payload: bytes, n: int) -> np.ndarray:
+    """Invert :func:`encode_values`."""
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise ValueError("corrupt codec frame: payload inflate failed") from exc
+    deltas = np.frombuffer(raw, dtype=np.int64)
+    if len(deltas) != n:
+        raise ValueError(
+            f"corrupt codec frame: payload holds {len(deltas)} values, header says {n}"
+        )
+    return np.cumsum(deltas, dtype=np.int64)

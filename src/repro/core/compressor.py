@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..baselines.base import Compressed
 from .models import DEFAULT_MODELS, get_model
 from .partition import Fragment, correction_bits, partition
 from .storage import NeaTSStorage
@@ -60,12 +61,21 @@ def default_eps_set(values: np.ndarray, stride: int = 1) -> list[int]:
 
 
 @dataclass
-class CompressedSeries:
-    """The result of :meth:`NeaTS.compress`: storage plus provenance."""
+class CompressedSeries(Compressed):
+    """The result of :meth:`NeaTS.compress`: storage plus provenance.
+
+    Implements the full :class:`~repro.baselines.base.Compressed` protocol,
+    so NeaTS output is interchangeable with every baseline codec — including
+    framed serialisation, which delegates to the succinct
+    :class:`NeaTSStorage` byte layout (no recompression on load).
+    """
 
     storage: NeaTSStorage
     fragments: list[Fragment]
     original_bits: int
+
+    codec_id = "neats"
+    payload_is_native = True
 
     def decompress(self) -> np.ndarray:
         """Algorithm 2 — the original values."""
@@ -83,17 +93,29 @@ class CompressedSeries:
         """Compressed size in bits."""
         return self.storage.size_bits()
 
-    def compression_ratio(self) -> float:
-        """Compressed size / original size (the paper's metric, in [0, 1+])."""
-        return self.size_bits() / self.original_bits
+    @property
+    def n(self) -> int:
+        """Number of values (from the storage header, O(1))."""
+        return self.storage.n
 
     @property
     def num_fragments(self) -> int:
         """Number of fragments in the partition."""
         return self.storage.m
 
-    def __len__(self) -> int:
-        return self.storage.n
+    def to_payload(self) -> bytes:
+        """Native frame payload: the ``⟨S, B, O, C, K, P⟩`` byte layout."""
+        return self.storage.to_bytes()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "CompressedSeries":
+        """Rebuild from :meth:`to_payload` output.
+
+        The fragment list is provenance of the *compression run* and is not
+        stored; deserialised objects carry an empty one.
+        """
+        storage = NeaTSStorage.from_bytes(payload)
+        return cls(storage, [], 64 * storage.n)
 
 
 class NeaTS:
@@ -211,8 +233,7 @@ class _SNeaTS(NeaTS):
         shift = self._shift_for(y, eps_set)
         z = y.astype(np.float64) + shift
 
-        sample_len = max(min(int(len(y) * self.sample_fraction), len(y)), 64)
-        sample_len = min(sample_len, len(y))
+        sample_len = min(max(int(len(y) * self.sample_fraction), 64), len(y))
         sample = partition(
             z[:sample_len], list(self.models), [float(e) for e in eps_set]
         )

@@ -8,43 +8,91 @@ the long run".  :class:`TieredStore` is that architecture:
 
 * appends land in an uncompressed **write buffer**;
 * full buffers are sealed into a **hot tier** with a cheap streaming codec
-  (Gorilla by default — microsecond sealing, weak ratio);
+  (``"gorilla"`` by default — microsecond sealing, weak ratio);
 * :meth:`consolidate` migrates sealed hot blocks into the **cold tier**, one
-  NeaTS-compressed run (strong ratio, native random access) — the
-  "background" recompression step.
+  strongly-compressed run (``"neats"`` by default) — the "background"
+  recompression step.
+
+Both tiers take *any* codec from the registry, by id::
+
+    store = TieredStore(hot_codec="zstd", cold_codec="leats")
+
+and every sealed block implements the unified ``Compressed`` protocol, so
+the whole store serialises: :meth:`to_bytes` / :meth:`from_bytes` persist
+buffer, hot blocks, and cold run in their native framed layouts.
 
 All three tiers answer ``access``/``range`` transparently.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import json
+import struct
+import zlib
 
-from ..baselines.base import LosslessCompressor
-from ..baselines.gorilla import GorillaCompressor
-from .compressor import NeaTS
+import numpy as np
 
 __all__ = ["TieredStore"]
 
+_MAGIC = b"RPTS0001"
+
+
+def _resolve(codec, params: dict | None):
+    """A (compressor, codec_id, params) triple from an id or an instance."""
+    from ..codecs import get_codec
+
+    if isinstance(codec, str):
+        params = dict(params or {})
+        return get_codec(codec, **params), codec, params
+    # A pre-built compressor instance (legacy API): usable, but the store
+    # cannot name it in a persisted header.
+    return codec, None, {}
+
 
 class TieredStore:
-    """An append-only time series store with background NeaTS consolidation."""
+    """An append-only time series store with background consolidation.
+
+    Parameters
+    ----------
+    seal_threshold:
+        Buffer size (values) at which a hot block is sealed.
+    hot_codec / cold_codec:
+        Registry id (e.g. ``"gorilla"``, ``"zstd"``, ``"neats"``) or a
+        pre-built compressor instance.  Ids are required for
+        :meth:`to_bytes` persistence.
+    hot_params / cold_params:
+        Constructor params forwarded to the codec factories.
+    """
 
     def __init__(
         self,
         seal_threshold: int = 4096,
-        hot_compressor: LosslessCompressor | None = None,
-        cold_compressor: NeaTS | None = None,
+        hot_codec="gorilla",
+        cold_codec="neats",
+        *,
+        hot_params: dict | None = None,
+        cold_params: dict | None = None,
+        hot_compressor=None,
+        cold_compressor=None,
     ) -> None:
         if seal_threshold < 1:
             raise ValueError("seal_threshold must be positive")
+        # Legacy keyword aliases (pre-registry API) take precedence when given.
+        if hot_compressor is not None:
+            hot_codec = hot_compressor
+        if cold_compressor is not None:
+            cold_codec = cold_compressor
         self._seal_threshold = seal_threshold
-        self._hot_codec = hot_compressor or GorillaCompressor()
-        self._cold_codec = cold_compressor or NeaTS()
+        self._hot_codec, self._hot_id, self._hot_params = _resolve(
+            hot_codec, hot_params
+        )
+        self._cold_codec, self._cold_id, self._cold_params = _resolve(
+            cold_codec, cold_params
+        )
         self._buffer: list[int] = []
         self._hot: list = []  # sealed Compressed blocks, in order
         self._hot_counts: list[int] = []
-        self._cold = None  # one consolidated CompressedSeries
+        self._cold = None  # one consolidated Compressed run
         self._cold_count = 0
 
     # -- ingestion ------------------------------------------------------------
@@ -69,11 +117,11 @@ class TieredStore:
         self._buffer.clear()
 
     def consolidate(self) -> None:
-        """Migrate all sealed hot blocks into the cold NeaTS tier.
+        """Migrate all sealed hot blocks into the cold tier.
 
         This is the paper's "run NeaTS later on (or in the background)"
         step; it decodes the hot tier once and recompresses everything
-        (including any previous cold data) into a single NeaTS run.
+        (including any previous cold data) into a single cold run.
         """
         if not self._hot:
             return
@@ -157,5 +205,89 @@ class TieredStore:
             "hot_blocks": len(self._hot),
             "hot_values": sum(self._hot_counts),
             "cold_values": self._cold_count,
+            "hot_codec": self._hot_id,
+            "cold_codec": self._cold_id,
             "total_bits": self.size_bits(),
         }
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the whole store: buffer, hot blocks, and cold run.
+
+        Sealed blocks are written in their codecs' framed layouts (see
+        :mod:`repro.codecs.serialize`), so nothing is recompressed.
+        Requires both tiers to be configured by codec id.
+        """
+        if self._hot_id is None or self._cold_id is None:
+            raise ValueError(
+                "persistence requires codec ids; construct the store with "
+                "hot_codec/cold_codec strings (e.g. 'gorilla', 'neats') "
+                "instead of compressor instances"
+            )
+        frames = [block.to_bytes() for block in self._hot]
+        cold_frame = self._cold.to_bytes() if self._cold is not None else b""
+        meta = {
+            "seal_threshold": self._seal_threshold,
+            "hot_codec": self._hot_id,
+            "hot_params": self._hot_params,
+            "cold_codec": self._cold_id,
+            "cold_params": self._cold_params,
+            "hot_counts": self._hot_counts,
+            "cold_count": self._cold_count,
+            "buffer_len": len(self._buffer),
+            "frame_lens": [len(f) for f in frames],
+            "cold_frame_len": len(cold_frame),
+        }
+        meta_b = json.dumps(meta, sort_keys=True).encode("utf-8")
+        body = bytearray(struct.pack("<q", len(meta_b)))
+        body += meta_b
+        body += np.array(self._buffer, dtype=np.int64).tobytes()
+        body += cold_frame
+        for frame in frames:
+            body += frame
+        # Same integrity story as the archive container: crc32 over the body
+        # so bit rot in a snapshot fails loudly instead of decoding wrong.
+        return _MAGIC + struct.pack("<I", zlib.crc32(bytes(body))) + bytes(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TieredStore":
+        """Rebuild a store serialised with :meth:`to_bytes`."""
+        from ..baselines.base import Compressed
+
+        if len(data) < 20 or data[:8] != _MAGIC:
+            raise ValueError("not a TieredStore byte string")
+        (crc,) = struct.unpack_from("<I", data, 8)
+        if zlib.crc32(data[12:]) != crc:
+            raise ValueError("TieredStore snapshot checksum mismatch (corrupt)")
+        (meta_len,) = struct.unpack_from("<q", data, 12)
+        pos = 20
+        try:
+            meta = json.loads(data[pos : pos + meta_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError("corrupt TieredStore header") from exc
+        pos += meta_len
+        store = cls(
+            seal_threshold=meta["seal_threshold"],
+            hot_codec=meta["hot_codec"],
+            cold_codec=meta["cold_codec"],
+            hot_params=meta["hot_params"],
+            cold_params=meta["cold_params"],
+        )
+        buf_len = meta["buffer_len"]
+        buffer = np.frombuffer(data, dtype=np.int64, count=buf_len, offset=pos)
+        store._buffer = buffer.tolist()
+        pos += 8 * buf_len
+        if meta["cold_frame_len"]:
+            end = pos + meta["cold_frame_len"]
+            store._cold = Compressed.from_bytes(data[pos:end])
+            pos = end
+        store._cold_count = meta["cold_count"]
+        for frame_len in meta["frame_lens"]:
+            end = pos + frame_len
+            store._hot.append(Compressed.from_bytes(data[pos:end]))
+            pos = end
+        store._hot_counts = list(meta["hot_counts"])
+        if pos != len(data):
+            raise ValueError("corrupt TieredStore byte string: trailing bytes")
+        return store

@@ -1,0 +1,279 @@
+"""Serialization round-trips for every registered codec, plus error cases.
+
+The contract under test: for any codec id in ``available_codecs()``,
+``from_bytes(to_bytes(c))`` and ``repro.open(repro.save(...))`` reproduce a
+compressed object with bit-exact ``decompress()``, identical ``access()``
+answers, and identical ``size_bits()``.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.base import Compressed
+from repro.codecs import (
+    available_codecs,
+    codec_spec,
+    get_codec,
+    open_archive,
+    register_codec,
+    save,
+    unregister_codec,
+)
+from repro.codecs.container import ARCHIVE_MAGIC
+from repro.codecs.serialize import read_frame
+
+EXPECTED_IDS = {
+    "neats", "leats", "sneats",
+    "gorilla", "chimp", "chimp128", "tsxor", "dac", "leco", "alp",
+    "xz", "zstd", "lz4", "snappy", "brotli",
+}
+
+DIGITS = 2
+
+
+def _params(cid):
+    return {"digits": DIGITS} if codec_spec(cid).needs_digits else {}
+
+
+@pytest.fixture(scope="module")
+def series():
+    """1500 points: spans multiple block-wise blocks and >1 ALP block."""
+    rng = np.random.default_rng(99)
+    y = 900 * np.sin(np.arange(1500) / 35) + np.cumsum(rng.integers(-4, 5, 1500))
+    return y.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def compressed_by_codec(series):
+    """Compress once per codec and share across tests (NeaTS is not free)."""
+    return {
+        cid: repro.compress(series, codec=cid, **_params(cid))
+        for cid in available_codecs()
+    }
+
+
+class TestRegistry:
+    def test_lineup_complete(self):
+        assert set(available_codecs()) == EXPECTED_IDS
+
+    def test_capability_flags(self):
+        assert codec_spec("neats").native_random_access
+        assert codec_spec("dac").native_random_access
+        assert not codec_spec("gorilla").native_random_access
+        assert codec_spec("alp").needs_digits
+        assert not any(codec_spec(c).lossy for c in available_codecs())
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("gzip")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec("neats")(lambda: None)
+
+    def test_invalid_id_raises(self):
+        with pytest.raises(ValueError, match="invalid codec id"):
+            register_codec("Not-An-Id")(lambda: None)
+
+    def test_custom_codec_registers_and_roundtrips(self, series):
+        from repro.baselines.gorilla import GorillaCompressor
+
+        register_codec("tinygorilla", description="gorilla, small blocks")(
+            lambda block_size=64: GorillaCompressor(block_size)
+        )
+        try:
+            c = repro.compress(series, codec="tinygorilla")
+            assert c.codec_id == "tinygorilla"
+            d = Compressed.from_bytes(c.to_bytes())
+            assert np.array_equal(d.decompress(), series)
+        finally:
+            unregister_codec("tinygorilla")
+
+    def test_provenance_attached(self, compressed_by_codec):
+        for cid, c in compressed_by_codec.items():
+            assert c.codec_id == cid
+            assert c.codec_params == _params(cid)
+
+
+@pytest.mark.parametrize("cid", sorted(EXPECTED_IDS))
+class TestFrameRoundTrip:
+    def test_preserves_queries_and_size(self, cid, series, compressed_by_codec):
+        c = compressed_by_codec[cid]
+        d = Compressed.from_bytes(c.to_bytes())
+        assert np.array_equal(d.decompress(), series)
+        assert d.size_bits() == c.size_bits()
+        for k in (0, 1, len(series) // 2, len(series) - 1):
+            assert d.access(k) == c.access(k) == series[k]
+        lo, hi = 400, 1200
+        assert np.array_equal(d.decompress_range(lo, hi), series[lo:hi])
+
+    def test_frame_is_self_describing(self, cid, compressed_by_codec):
+        frame = read_frame(compressed_by_codec[cid].to_bytes())
+        assert frame.codec_id == cid
+        assert frame.n == 1500
+
+    def test_archive_roundtrip(self, cid, series, compressed_by_codec, tmp_path):
+        path = tmp_path / f"{cid}.rpac"
+        nbytes = save(path, compressed_by_codec[cid], digits=DIGITS)
+        assert path.stat().st_size == nbytes
+        archive = open_archive(path)
+        assert archive.codec_id == cid
+        assert archive.digits == DIGITS
+        assert np.array_equal(archive.decompress(), series)
+        assert archive.size_bits() == compressed_by_codec[cid].size_bits()
+        assert archive.access(1234) == series[1234]
+
+
+class TestCompressionRatioIsO1:
+    def test_no_decompress_needed(self, series):
+        c = repro.compress(series, codec="gorilla")
+        c.decompress = None  # would explode if the metric decompressed
+        assert 0 < c.compression_ratio() < 2
+        assert len(c) == len(series)
+
+    def test_explicit_n_still_honoured(self, series):
+        c = repro.compress(series, codec="gorilla")
+        assert c.compression_ratio(n=2 * len(series)) == pytest.approx(
+            c.compression_ratio() / 2
+        )
+
+
+class TestErrorCases:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rpac"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="not a repro archive"):
+            open_archive(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "short.rpac"
+        path.write_bytes(ARCHIVE_MAGIC[:4])
+        with pytest.raises(ValueError, match="not a repro archive"):
+            open_archive(path)
+
+    def test_truncated_payload(self, tmp_path, series):
+        path = tmp_path / "trunc.rpac"
+        save(path, repro.compress(series, codec="gorilla"))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-20])
+        with pytest.raises(ValueError, match="truncated"):
+            open_archive(path)
+
+    def test_corrupt_payload_fails_checksum(self, tmp_path, series):
+        path = tmp_path / "flip.rpac"
+        save(path, repro.compress(series, codec="zstd"))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload bit, keep lengths intact
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="checksum"):
+            open_archive(path)
+
+    def test_unknown_codec_in_frame(self, tmp_path, series):
+        from repro.codecs.serialize import KIND_VALUES, encode_values, write_frame
+
+        frame = write_frame("nope", {}, len(series), KIND_VALUES,
+                            encode_values(series))
+        path = tmp_path / "nope.rpac"
+        header = struct.pack("<8siIQ", ARCHIVE_MAGIC, 0, zlib.crc32(frame),
+                             len(frame))
+        path.write_bytes(header + frame)
+        with pytest.raises(ValueError, match="unknown codec"):
+            open_archive(path)
+
+    def test_frame_value_count_mismatch(self, series):
+        from repro.codecs.serialize import KIND_VALUES, encode_values, write_frame
+
+        frame = write_frame("gorilla", {}, len(series) + 1, KIND_VALUES,
+                            encode_values(series))
+        with pytest.raises(ValueError, match="header says"):
+            Compressed.from_bytes(frame)
+
+    def test_to_bytes_without_provenance(self, series):
+        from repro.baselines.gorilla import GorillaCompressor
+
+        c = GorillaCompressor().compress(series)  # bypasses the registry
+        with pytest.raises(ValueError, match="no codec id"):
+            c.to_bytes()
+
+
+class TestTieredStorePersistence:
+    def test_snapshot_roundtrip(self, series):
+        store = repro.TieredStore(seal_threshold=256, hot_codec="gorilla",
+                                  cold_codec="leats")
+        store.extend(series[:1000])
+        store.consolidate()
+        store.extend(series[1000:])
+        restored = repro.TieredStore.from_bytes(store.to_bytes())
+        assert np.array_equal(restored.decompress(), series)
+        assert restored.tier_report() == store.tier_report()
+
+    def test_snapshot_bit_rot_fails_loudly(self, series):
+        store = repro.TieredStore(seal_threshold=256)
+        store.extend(series)
+        blob = bytearray(store.to_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        with pytest.raises(ValueError, match="checksum"):
+            repro.TieredStore.from_bytes(bytes(blob))
+
+    def test_instance_codecs_cannot_persist(self, series):
+        from repro.baselines.gorilla import GorillaCompressor
+
+        store = repro.TieredStore(seal_threshold=256,
+                                  hot_compressor=GorillaCompressor())
+        store.extend(series)
+        with pytest.raises(ValueError, match="codec ids"):
+            store.to_bytes()
+
+
+class TestStarImportDoesNotShadowOpen:
+    def test_open_not_in_all(self):
+        assert "open" not in repro.__all__
+        assert repro.open is repro.open_archive  # attribute stays available
+
+
+class TestLegacyFormat:
+    def test_seed_cli_archive_still_opens(self, tmp_path, series):
+        compressed = repro.NeaTS().compress(series)
+        blob = (b"NTSF0001" + struct.pack("<i", 3)
+                + compressed.storage.to_bytes())
+        path = tmp_path / "old.neats"
+        path.write_bytes(blob)
+        archive = open_archive(path)
+        assert archive.codec_id == "neats"
+        assert archive.digits == 3
+        assert np.array_equal(archive.decompress(), series)
+        assert archive.access(42) == series[42]
+
+
+class TestCliAnyCodec:
+    def test_compress_info_access_decompress_gorilla(self, tmp_path, series):
+        from repro.cli import main
+        from repro.data import read_csv, write_csv
+
+        csv_in = tmp_path / "in.csv"
+        write_csv(csv_in, series, digits=DIGITS)
+        archive = tmp_path / "out.rpac"
+        csv_out = tmp_path / "out.csv"
+        assert main(["compress", str(csv_in), str(archive),
+                     "--codec", "gorilla", "--digits", str(DIGITS)]) == 0
+        assert main(["info", str(archive)]) == 0
+        assert main(["access", str(archive), "0", "749"]) == 0
+        assert main(["decompress", str(archive), str(csv_out)]) == 0
+        assert np.array_equal(read_csv(csv_out, DIGITS), series)
+
+    def test_info_reports_codec(self, tmp_path, series, capsys):
+        from repro.cli import main
+        from repro.data import write_csv
+
+        csv_in = tmp_path / "in.csv"
+        write_csv(csv_in, series, digits=0)
+        archive = tmp_path / "out.rpac"
+        main(["compress", str(csv_in), str(archive), "--codec", "tsxor"])
+        capsys.readouterr()
+        main(["info", str(archive)])
+        out = capsys.readouterr().out
+        assert "tsxor" in out
