@@ -29,8 +29,18 @@ Persistence (any codec, one self-describing archive format)::
     archive = repro.open("series.rpac")        # knows its codec and digits
     archive.access(1234); archive.decompress_range(100, 200)
 
+Many series at once: :func:`compress_many` fans compression out over a
+process pool, and :class:`SeriesDB` is a durable shard-per-series store
+(one tiered-store shard per series id, pooled batch ingest, background
+compaction)::
+
+    out = repro.compress_many(series_by_id, codec="gorilla", workers=4)
+    db = repro.SeriesDB("dbdir", hot_codec="gorilla", cold_codec="neats")
+    db.ingest_many(series_by_id, workers=4); db.compact(); db.flush()
+
 Lower-level entry points remain available: :class:`NeaTS` for direct use,
-``repro.codecs`` for the registry, ``repro.bench`` for the paper's harness.
+``repro.codecs`` for the registry, ``repro.store`` for the store
+subsystem, ``repro.bench`` for the paper's harness.
 """
 
 from .codecs import (
@@ -53,13 +63,17 @@ from .core import (
     default_eps_set,
 )
 from .data import dataset_names, load
+from .store import SeriesDB, compress_many, compress_many_frames
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 # NOTE: "open" is deliberately absent from __all__ — `from repro import *`
 # must not shadow the builtin; use repro.open or open_archive explicitly.
 __all__ = [
     "compress",
+    "compress_many",
+    "compress_many_frames",
+    "SeriesDB",
     "save",
     "open_archive",
     "Archive",

@@ -9,6 +9,16 @@ Usage::
     python -m repro access     output.rpac 12345
     python -m repro generate   IT out.csv --n 10000
 
+    python -m repro db init    dbdir --hot-codec gorilla --cold-codec neats
+    python -m repro db ingest  dbdir a.csv b.csv --workers 4
+    python -m repro db query   dbdir a --at 123 456
+    python -m repro db compact dbdir
+    python -m repro db info    dbdir
+
+The ``db`` family drives a :class:`repro.store.SeriesDB`: a directory of
+per-series tiered-store shards with a JSON manifest, batch-ingested
+through a process pool and recompressed in the background by ``compact``.
+
 Any codec from ``repro.codecs.available_codecs()`` can write an archive; the
 self-describing container records which one, so ``decompress``, ``info`` and
 ``access`` need no codec flag.  Archives produced by older versions (magic
@@ -120,6 +130,171 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+# -- the db subcommand family -------------------------------------------------
+
+
+def _cmd_db_init(args) -> int:
+    from .store import SeriesDB
+
+    root = Path(args.root)
+    if (root / "MANIFEST.json").exists():
+        print(f"{root} already holds a SeriesDB", file=sys.stderr)
+        return 1
+    db = SeriesDB(
+        root,
+        seal_threshold=args.seal_threshold,
+        hot_codec=args.hot_codec,
+        cold_codec=args.cold_codec,
+    )
+    print(f"initialised SeriesDB at {db.root} "
+          f"(hot={args.hot_codec}, cold={args.cold_codec}, "
+          f"seal_threshold={args.seal_threshold})")
+    return 0
+
+
+def _cmd_db_ingest(args) -> int:
+    from .store import SeriesDB
+
+    if args.series:
+        names = args.series.split(",")
+        if len(names) != len(args.inputs):
+            print(f"--series names {len(names)} series, "
+                  f"but {len(args.inputs)} files given", file=sys.stderr)
+            return 1
+    else:
+        names = [Path(p).stem for p in args.inputs]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        print(f"duplicate series ids {', '.join(dupes)}: files with the same "
+              "stem need explicit --series names", file=sys.stderr)
+        return 1
+    series_map = {
+        name: read_csv(path, args.digits)
+        for name, path in zip(names, args.inputs)
+    }
+    db = SeriesDB.open(args.root)
+    t0 = time.perf_counter()
+    counts = db.ingest_many(series_map, workers=args.workers, digits=args.digits)
+    db.flush()
+    elapsed = time.perf_counter() - t0
+    total = sum(len(v) for v in series_map.values())
+    for name, count in counts.items():
+        print(f"{name}: +{len(series_map[name]):,} values -> {count:,} total")
+    print(f"ingested {total:,} values across {len(series_map)} series "
+          f"in {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_db_query(args) -> int:
+    from .store import SeriesDB
+
+    db = SeriesDB.open(args.root)
+    if args.sid not in db:
+        known = ", ".join(db.series_ids()) or "(none)"
+        print(f"unknown series {args.sid!r}; known: {known}", file=sys.stderr)
+        return 1
+    # The manifest records each series' decimal scaling at ingest time, so
+    # queries need no flag; --digits still overrides for display.
+    digits = db.digits(args.sid) if args.digits is None else args.digits
+    scale = 10**digits
+    n = db.count(args.sid)
+    if args.at is not None:
+        for k in args.at:
+            if not 0 <= k < n:
+                print(f"position {k}: out of range [0, {n})", file=sys.stderr)
+                return 1
+            print(f"{args.sid}[{k}] {db.access(args.sid, k) / scale:.{digits}f}")
+    elif args.range is not None:
+        lo, hi = args.range
+        if not 0 <= lo <= hi <= n:
+            print(f"range [{lo}, {hi}): out of range [0, {n})", file=sys.stderr)
+            return 1
+        for v in db.range(args.sid, lo, hi):
+            print(f"{v / scale:.{digits}f}")
+    else:
+        print(f"{args.sid}: {n:,} values")
+    return 0
+
+
+def _cmd_db_compact(args) -> int:
+    from .store import SeriesDB
+
+    db = SeriesDB.open(args.root)
+    compacted = db.compact(hot_threshold=args.hot_threshold)
+    if compacted:
+        print(f"compacted {len(compacted)} shard(s): {', '.join(compacted)}")
+    else:
+        print("nothing to compact")
+    return 0
+
+
+def _cmd_db_info(args) -> int:
+    from .store import SeriesDB
+
+    info = SeriesDB.open(args.root).info()
+    print(f"root:           {info['root']}")
+    print(f"hot codec:      {info['hot_codec']}")
+    print(f"cold codec:     {info['cold_codec']}")
+    print(f"seal threshold: {info['seal_threshold']:,}")
+    print(f"series:         {len(info['series'])}")
+    for sid, entry in info["series"].items():
+        print(f"  {sid}: {entry['count']:,} values "
+              f"(buffer {entry['buffer_values']:,} / hot {entry['hot_values']:,}"
+              f" / cold {entry['cold_values']:,}, "
+              f"digits {entry.get('digits', 0)}) -> {entry['shard']}")
+    return 0
+
+
+def _add_db_parsers(sub) -> None:
+    db = sub.add_parser("db", help="multi-series shard-per-series store")
+    dbsub = db.add_subparsers(dest="db_command", required=True)
+
+    p = dbsub.add_parser("init", help="create an empty SeriesDB directory")
+    p.add_argument("root")
+    p.add_argument("--seal-threshold", type=int, default=4096,
+                   help="values per sealed hot block (default: 4096)")
+    p.add_argument("--hot-codec", default="gorilla", choices=available_codecs(),
+                   help="ingest-tier codec (default: gorilla)")
+    p.add_argument("--cold-codec", default="neats", choices=available_codecs(),
+                   help="compaction-tier codec (default: neats)")
+    p.set_defaults(func=_cmd_db_init)
+
+    p = dbsub.add_parser("ingest", help="batch-ingest CSV files, one series each")
+    p.add_argument("root")
+    p.add_argument("inputs", nargs="+", metavar="csv")
+    p.add_argument("--series", default=None,
+                   help="comma-separated series ids (default: file stems)")
+    p.add_argument("--digits", type=int, default=0,
+                   help="fractional decimal digits of the input values")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per core)")
+    p.set_defaults(func=_cmd_db_ingest)
+
+    p = dbsub.add_parser("query", help="point/range queries against one series")
+    p.add_argument("root")
+    p.add_argument("sid", help="series id")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--at", type=int, nargs="+", default=None,
+                       help="positions for point queries")
+    group.add_argument("--range", type=int, nargs=2, default=None,
+                       metavar=("LO", "HI"), help="half-open position range")
+    p.add_argument("--digits", type=int, default=None,
+                   help="decimal scaling for printed values "
+                        "(default: as recorded at ingest)")
+    p.set_defaults(func=_cmd_db_query)
+
+    p = dbsub.add_parser("compact", help="consolidate hot tiers into cold runs")
+    p.add_argument("root")
+    p.add_argument("--hot-threshold", type=int, default=0,
+                   help="compact shards with more than this many sealed hot "
+                        "values (default: 0 = any)")
+    p.set_defaults(func=_cmd_db_compact)
+
+    p = dbsub.add_parser("info", help="describe a SeriesDB")
+    p.add_argument("root")
+    p.set_defaults(func=_cmd_db_info)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -160,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("output")
     p.add_argument("--n", type=int, default=None)
     p.set_defaults(func=_cmd_generate)
+
+    _add_db_parsers(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -169,6 +169,8 @@ def load_compressed(data: bytes):
     recorded codec deterministically, reproducing the identical compressed
     object.
     """
+    from ..baselines.base import Compressed
+
     frame = serialize.read_frame(data)
     spec = codec_spec(frame.codec_id)
     if frame.native:
@@ -178,9 +180,22 @@ def load_compressed(data: bytes):
                 "the frame is corrupt or from an incompatible version"
             )
         compressed = spec.load_native(frame.payload, frame.params)
+        # Cross-check the frame header against what the native payload itself
+        # records, when the loader exposes a count without decompressing.
+        known = compressed._n
+        if known is None and type(compressed).n is not Compressed.n:
+            known = compressed.n  # overridden accessor: O(1) payload header read
+        if known is not None and int(known) != frame.n:
+            raise ValueError(
+                f"corrupt codec frame: native payload holds {int(known)} "
+                f"values, header says {frame.n}"
+            )
     else:
         values = serialize.decode_values(frame.payload, frame.n)
         compressed = get_codec(frame.codec_id, **frame.params).compress(values)
+    # Propagate the header count so len()/compression_ratio() on a freshly
+    # loaded object stay O(1) even when the loader left _n unset.
+    compressed._n = frame.n
     compressed.codec_id = frame.codec_id
     compressed.codec_params = dict(frame.params)
     return compressed

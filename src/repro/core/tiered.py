@@ -104,9 +104,55 @@ class TieredStore:
             self._seal()
 
     def extend(self, values) -> None:
-        """Append many values."""
-        for v in np.asarray(values, dtype=np.int64).tolist():
-            self.append(v)
+        """Append many values, sealing full blocks in bulk.
+
+        Equivalent to calling :meth:`append` once per value (block
+        boundaries land in the same places), but full
+        ``seal_threshold``-sized chunks are compressed directly from the
+        input array instead of round-tripping through the Python-level
+        write buffer — this is the batch-ingest hot path.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("expected a 1-D array")
+        pos, n = 0, len(values)
+        # Top up a partially filled buffer first so chunk boundaries match
+        # the per-value path exactly.
+        if self._buffer:
+            pos = min(self._seal_threshold - len(self._buffer), n)
+            self._buffer.extend(values[:pos].tolist())
+            if len(self._buffer) >= self._seal_threshold:
+                self._seal()
+        while n - pos >= self._seal_threshold:
+            chunk = values[pos : pos + self._seal_threshold]
+            self._hot.append(self._hot_codec.compress(chunk))
+            self._hot_counts.append(len(chunk))
+            pos += self._seal_threshold
+        self._buffer.extend(values[pos:].tolist())
+
+    def adopt_sealed(self, block) -> None:
+        """Append an already-compressed hot block (the parallel ingest path).
+
+        ``block`` is any :class:`~repro.baselines.base.Compressed` holding
+        values compressed with this store's hot codec — e.g. a frame
+        produced by a :func:`repro.store.compress_many_frames` worker.  The
+        write buffer is sealed first so global ordering is preserved.
+        """
+        if (
+            self._hot_id is not None
+            and block.codec_id is not None
+            and block.codec_id != self._hot_id
+        ):
+            raise ValueError(
+                f"adopted block was compressed with {block.codec_id!r}, "
+                f"but this store's hot tier is {self._hot_id!r}"
+            )
+        n = len(block)  # O(1) for registry codecs and loaded frames
+        if n < 1:
+            raise ValueError("adopted block must hold at least one value")
+        self._seal()
+        self._hot.append(block)
+        self._hot_counts.append(n)
 
     def _seal(self) -> None:
         if not self._buffer:
@@ -274,7 +320,20 @@ class TieredStore:
             hot_params=meta["hot_params"],
             cold_params=meta["cold_params"],
         )
-        buf_len = meta["buffer_len"]
+        # The crc only proves the bytes are what to_bytes wrote, not that the
+        # metadata is coherent; a crc-valid snapshot with inconsistent counts
+        # must raise here, not decode to wrong answers later.
+        hot_counts = [int(c) for c in meta["hot_counts"]]
+        frame_lens = list(meta["frame_lens"])
+        if len(frame_lens) != len(hot_counts):
+            raise ValueError(
+                f"corrupt TieredStore snapshot: {len(frame_lens)} hot frames "
+                f"but {len(hot_counts)} hot counts"
+            )
+        buf_len = int(meta["buffer_len"])
+        cold_count = int(meta["cold_count"])
+        if buf_len < 0 or cold_count < 0 or any(c < 1 for c in hot_counts):
+            raise ValueError("corrupt TieredStore snapshot: negative tier count")
         buffer = np.frombuffer(data, dtype=np.int64, count=buf_len, offset=pos)
         store._buffer = buffer.tolist()
         pos += 8 * buf_len
@@ -282,12 +341,28 @@ class TieredStore:
             end = pos + meta["cold_frame_len"]
             store._cold = Compressed.from_bytes(data[pos:end])
             pos = end
-        store._cold_count = meta["cold_count"]
-        for frame_len in meta["frame_lens"]:
+            if len(store._cold) != cold_count:
+                raise ValueError(
+                    f"corrupt TieredStore snapshot: cold run holds "
+                    f"{len(store._cold)} values, metadata says {cold_count}"
+                )
+        elif cold_count:
+            raise ValueError(
+                f"corrupt TieredStore snapshot: metadata claims {cold_count} "
+                "cold values but no cold frame is present"
+            )
+        store._cold_count = cold_count
+        for frame_len, count in zip(frame_lens, hot_counts):
             end = pos + frame_len
-            store._hot.append(Compressed.from_bytes(data[pos:end]))
+            block = Compressed.from_bytes(data[pos:end])
+            if len(block) != count:
+                raise ValueError(
+                    f"corrupt TieredStore snapshot: hot block holds "
+                    f"{len(block)} values, metadata says {count}"
+                )
+            store._hot.append(block)
             pos = end
-        store._hot_counts = list(meta["hot_counts"])
+        store._hot_counts = hot_counts
         if pos != len(data):
             raise ValueError("corrupt TieredStore byte string: trailing bytes")
         return store

@@ -1,0 +1,26 @@
+"""The store subsystem: parallel batch compression and a multi-series DB.
+
+Two layers grown out of the ROADMAP items unlocked by the codec
+registry and the framed ``Compressed`` serialisation:
+
+* :func:`compress_many` / :func:`compress_many_frames` — fan compression
+  of many series out over a process pool; workers exchange framed bytes,
+  so results are byte-identical to serial ``repro.compress``;
+* :class:`SeriesDB` — a durable shard-per-series store (one
+  :class:`~repro.core.tiered.TieredStore` snapshot per series id plus a
+  JSON manifest), with pooled batch ingest, per-series ``access`` /
+  ``range``, and a cross-shard :meth:`~SeriesDB.compact` policy.
+
+Both are re-exported at top level: ``repro.compress_many``,
+``repro.SeriesDB``.
+"""
+
+from .parallel import compress_many, compress_many_frames, default_workers
+from .seriesdb import SeriesDB
+
+__all__ = [
+    "compress_many",
+    "compress_many_frames",
+    "default_workers",
+    "SeriesDB",
+]

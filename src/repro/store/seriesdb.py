@@ -1,0 +1,461 @@
+"""SeriesDB: a multi-series store with one shard per series id.
+
+The ROADMAP's "shard-per-series store", grown out of the single-series
+:class:`~repro.core.tiered.TieredStore`: a :class:`SeriesDB` is a
+directory holding one tiered-store snapshot (``TieredStore.to_bytes``)
+per series, plus a JSON manifest mapping series id -> shard path, codec
+ids, value counts, and a crc32 of the shard bytes::
+
+    db-root/
+      MANIFEST.json
+      shards/
+        cpu-0000.tier        # TieredStore snapshot (RPTS0001)
+        mem-0001.tier
+
+Ingestion follows the paper's §IV-C1 deployment: values stream into each
+shard's hot tier (a cheap codec like Gorilla), and :meth:`compact`
+plays the "run NeaTS later on (or in the background)" role across the
+whole fleet of shards — any shard whose hot tier exceeds a threshold is
+consolidated into its strongly-compressed cold tier.  Batch ingest fans
+hot-block compression out over a process pool via
+:func:`repro.store.compress_many_frames`.
+
+>>> import numpy as np, tempfile
+>>> from repro.store import SeriesDB
+>>> root = tempfile.mkdtemp()
+>>> db = SeriesDB(root, seal_threshold=256, cold_codec="leats")
+>>> counts = db.ingest_many({"a": np.arange(1000), "b": np.arange(500) * 2})
+>>> db.flush(); db2 = SeriesDB.open(root)
+>>> int(db2.access("b", 10)), int(db2.count("a"))
+(20, 1000)
+
+Shards load lazily (opening a database touches only the manifest), all
+mutations stay in memory until :meth:`flush`, and every shard write is
+crc-checked on the way back in — a swapped or bit-rotted shard file
+fails loudly instead of answering queries from the wrong series.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.base import Compressed
+from ..core.tiered import TieredStore
+from .parallel import compress_many_frames
+
+__all__ = ["SeriesDB"]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = "RPDB0001"
+_SHARD_DIR = "shards"
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _write_atomic(path: Path, blob: bytes) -> None:
+    """Durable atomic write: temp file + fsync + rename + directory fsync.
+
+    Readers never see a torn file, and once the rename is visible the data
+    blocks are on disk — power loss cannot leave a manifest pointing at a
+    zero-length or partial shard.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class SeriesDB:
+    """A durable multi-series store: one :class:`TieredStore` shard per id.
+
+    Parameters
+    ----------
+    root:
+        Database directory.  Created (with a fresh manifest) when it does
+        not yet hold one; opening an existing database ignores the codec
+        arguments in favour of the persisted configuration.
+    seal_threshold / hot_codec / cold_codec / hot_params / cold_params:
+        Per-shard :class:`TieredStore` configuration, recorded in the
+        manifest at creation time.  Codecs must be registry ids (shards
+        are persisted).
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        seal_threshold: int = 4096,
+        hot_codec: str = "gorilla",
+        cold_codec: str = "neats",
+        hot_params: dict | None = None,
+        cold_params: dict | None = None,
+    ) -> None:
+        self._root = Path(root)
+        self._stores: dict[str, TieredStore] = {}
+        self._dirty: set[str] = set()
+        manifest_path = self._root / MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+            if manifest.get("format") != MANIFEST_FORMAT:
+                raise ValueError(
+                    f"{manifest_path}: not a SeriesDB manifest "
+                    f"(format {manifest.get('format')!r})"
+                )
+            self._config = {
+                key: manifest[key]
+                for key in (
+                    "seal_threshold",
+                    "hot_codec",
+                    "hot_params",
+                    "cold_codec",
+                    "cold_params",
+                )
+            }
+            self._series: dict[str, dict] = dict(manifest["series"])
+            self._next_shard = int(manifest["next_shard"])
+        else:
+            if not isinstance(hot_codec, str) or not isinstance(cold_codec, str):
+                raise ValueError(
+                    "SeriesDB requires codec ids (e.g. 'gorilla', 'neats'); "
+                    "compressor instances cannot be persisted"
+                )
+            if int(seal_threshold) < 1:
+                raise ValueError("seal_threshold must be positive")
+            self._config = {
+                "seal_threshold": int(seal_threshold),
+                "hot_codec": hot_codec,
+                "hot_params": dict(hot_params or {}),
+                "cold_codec": cold_codec,
+                "cold_params": dict(cold_params or {}),
+            }
+            self._series = {}
+            self._next_shard = 0
+            (self._root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
+            self._write_manifest()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, root) -> "SeriesDB":
+        """Open an existing database; raises when ``root`` holds none."""
+        root = Path(root)
+        if not (root / MANIFEST_NAME).exists():
+            raise ValueError(f"{root}: no SeriesDB manifest found")
+        return cls(root)
+
+    def __enter__(self) -> "SeriesDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The database directory."""
+        return self._root
+
+    def series_ids(self) -> list[str]:
+        """Every series id, in ingestion order."""
+        return list(self._series)
+
+    def __contains__(self, series_id: str) -> bool:
+        return series_id in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def count(self, series_id: str) -> int:
+        """Number of values in ``series_id`` — manifest-only, no shard load."""
+        if series_id in self._stores:
+            return len(self._stores[series_id])
+        return int(self._entry(series_id)["count"])
+
+    def digits(self, series_id: str) -> int:
+        """Decimal scaling recorded for ``series_id`` at ingest time."""
+        return int(self._entry(series_id).get("digits", 0))
+
+    def info(self) -> dict:
+        """Configuration plus a per-series summary (counts, tiers, shards)."""
+        series = {}
+        for sid, entry in self._series.items():
+            entry = dict(entry)
+            if sid in self._stores:  # live stats beat possibly-stale manifest
+                report = self._stores[sid].tier_report()
+                entry["count"] = len(self._stores[sid])
+                entry["hot_values"] = report["hot_values"]
+                entry["cold_values"] = report["cold_values"]
+                entry["buffer_values"] = report["buffer_values"]
+            series[sid] = entry
+        return {**self._config, "root": str(self._root), "series": series}
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, series_id: str, values, *, digits: int | None = None) -> int:
+        """Append ``values`` to ``series_id`` (creating it); returns its count.
+
+        ``digits`` records the values' decimal scaling (§II of the paper)
+        in the manifest, like the archive container does; appending to an
+        existing series with a different scaling raises.
+        """
+        self._check_digits(series_id, digits)
+        store = self._store_for_ingest(series_id)
+        self._apply_digits(series_id, digits)
+        store.extend(values)
+        self._dirty.add(series_id)
+        return len(store)
+
+    def ingest_many(
+        self, series_map, *, workers: int | None = None, digits: int | None = None
+    ) -> dict:
+        """Batch ingest: append every series in ``series_map``, pooled.
+
+        Full ``seal_threshold``-sized hot blocks from all series are
+        compressed together through one
+        :func:`~repro.store.compress_many_frames` fan-out (``workers``
+        processes), then adopted into each shard in order; partial-buffer
+        heads and tails take the serial path.  The resulting shards are
+        byte-identical to serial :meth:`ingest` calls.
+
+        Returns series id -> new total count.
+        """
+        threshold = int(self._config["seal_threshold"])
+        # Phase 1 — validate everything and plan chunk boundaries without
+        # mutating any store, so a bad series (or a pool failure in phase 2)
+        # cannot leave the batch half-applied.
+        chunks: dict = {}
+        plans: list[tuple[str, np.ndarray, int, int]] = []
+        for sid, values in series_map.items():
+            values = np.asarray(values, dtype=np.int64)
+            if values.ndim != 1:
+                raise ValueError(f"series {sid!r}: expected a 1-D array")
+            self._check_digits(sid, digits)
+            if sid in self._series:
+                buffered = self._load(sid).tier_report()["buffer_values"]
+            else:
+                if not sid or not isinstance(sid, str):
+                    raise ValueError(f"invalid series id {sid!r}")
+                buffered = 0
+            # A partially filled buffer is topped up serially so that pooled
+            # chunk boundaries line up with what extend() would produce.
+            head = min(threshold - buffered, len(values)) if buffered else 0
+            body = values[head:]
+            n_chunks = len(body) // threshold
+            for i in range(n_chunks):
+                chunks[(sid, i)] = body[i * threshold : (i + 1) * threshold]
+            plans.append((sid, values, head, n_chunks))
+        # Phase 2 — the pooled fan-out (raises before any store changes).
+        frames = compress_many_frames(
+            chunks,
+            self._config["hot_codec"],
+            workers=workers,
+            **self._config["hot_params"],
+        )
+        # Phase 3 — apply.
+        counts = {}
+        for sid, values, head, n_chunks in plans:
+            store = self._store_for_ingest(sid)
+            self._apply_digits(sid, digits)
+            self._dirty.add(sid)
+            if head:
+                store.extend(values[:head])
+            for i in range(n_chunks):
+                store.adopt_sealed(Compressed.from_bytes(frames[(sid, i)]))
+            store.extend(values[head + n_chunks * threshold :])
+            counts[sid] = len(store)
+        return counts
+
+    def _store_for_ingest(self, series_id: str) -> TieredStore:
+        if series_id in self._series:
+            return self._load(series_id)
+        if not series_id or not isinstance(series_id, str):
+            raise ValueError(f"invalid series id {series_id!r}")
+        store = TieredStore(
+            seal_threshold=self._config["seal_threshold"],
+            hot_codec=self._config["hot_codec"],
+            cold_codec=self._config["cold_codec"],
+            hot_params=self._config["hot_params"],
+            cold_params=self._config["cold_params"],
+        )
+        self._series[series_id] = {
+            "shard": self._shard_name(series_id),
+            "count": 0,
+            "crc32": 0,
+            "digits": 0,
+            "hot_codec": self._config["hot_codec"],
+            "cold_codec": self._config["cold_codec"],
+            "hot_values": 0,
+            "cold_values": 0,
+            "buffer_values": 0,
+        }
+        self._stores[series_id] = store
+        return store
+
+    # -- queries --------------------------------------------------------------
+
+    def access(self, series_id: str, k: int) -> int:
+        """The value at position ``k`` of ``series_id``."""
+        return self._load(series_id).access(k)
+
+    def range(self, series_id: str, lo: int, hi: int) -> np.ndarray:
+        """Values at positions ``[lo, hi)`` of ``series_id``."""
+        return self._load(series_id).range(lo, hi)
+
+    def decompress(self, series_id: str) -> np.ndarray:
+        """Every value of ``series_id``, in order."""
+        return self._load(series_id).decompress()
+
+    def store(self, series_id: str) -> TieredStore:
+        """The live :class:`TieredStore` shard backing ``series_id``.
+
+        Mutating it directly (e.g. ``consolidate``) is allowed, but call
+        :meth:`mark_dirty` afterwards so :meth:`flush` rewrites the shard.
+        """
+        return self._load(series_id)
+
+    def mark_dirty(self, series_id: str) -> None:
+        """Flag a shard as modified outside the SeriesDB API."""
+        self._load(series_id)  # flush rewrites from the live store
+        self._dirty.add(series_id)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self, hot_threshold: int = 0) -> list[str]:
+        """Consolidate every shard whose sealed hot tier exceeds the threshold.
+
+        The background-recompression policy of §IV-C1 applied across
+        shards: a shard with more than ``hot_threshold`` values in sealed
+        hot blocks has them migrated into its cold tier (one strong
+        ``cold_codec`` run).  Compacted shards are flushed immediately.
+        Returns the ids that were compacted.
+        """
+        compacted = []
+        for sid in self._series:
+            if sid in self._stores:
+                hot_values = self._stores[sid].tier_report()["hot_values"]
+            else:
+                hot_values = int(self._series[sid]["hot_values"])
+            if hot_values > hot_threshold:
+                store = self._load(sid)
+                store.consolidate()
+                self._dirty.add(sid)
+                compacted.append(sid)
+        if compacted:
+            self.flush()
+        return compacted
+
+    def flush(self) -> None:
+        """Write every modified shard and the manifest back to disk.
+
+        Crash consistency: a rewritten shard gets a *fresh* generation
+        filename, and the old file is deleted only after the manifest
+        commits — a crash mid-flush leaves the manifest pointing at the
+        previous intact shards (plus, at worst, some orphan files), never
+        at a shard whose crc it cannot verify.
+        """
+        replaced: list[Path] = []
+        for sid in sorted(self._dirty):
+            store = self._stores[sid]
+            blob = store.to_bytes()
+            entry = self._series[sid]
+            old = self._root / entry["shard"]
+            if old.exists():  # rewrite under a fresh name, drop old post-commit
+                entry["shard"] = self._shard_name(sid)
+                replaced.append(old)
+            _write_atomic(self._root / entry["shard"], blob)
+            report = store.tier_report()
+            entry.update(
+                count=len(store),
+                crc32=zlib.crc32(blob),
+                hot_values=report["hot_values"],
+                cold_values=report["cold_values"],
+                buffer_values=report["buffer_values"],
+            )
+        self._dirty.clear()
+        self._write_manifest()  # the commit point
+        for path in replaced:
+            path.unlink(missing_ok=True)
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_digits(self, series_id: str, digits: int | None) -> None:
+        """Reject an append whose decimal scaling disagrees with the manifest."""
+        if digits is None or series_id not in self._series:
+            return
+        entry = self._series[series_id]
+        recorded = int(entry.get("digits", 0))
+        if entry["count"] and int(digits) != recorded:
+            raise ValueError(
+                f"series {series_id!r} was ingested with digits={recorded}; "
+                f"appending digits={int(digits)} values would mix scales"
+            )
+
+    def _apply_digits(self, series_id: str, digits: int | None) -> None:
+        if digits is not None:
+            self._series[series_id]["digits"] = int(digits)
+
+    def _shard_name(self, series_id: str) -> str:
+        """A fresh, never-reused shard filename for ``series_id``."""
+        stem = _UNSAFE.sub("_", series_id)[:48] or "series"
+        name = f"{_SHARD_DIR}/{stem}-{self._next_shard:04d}.tier"
+        self._next_shard += 1
+        return name
+
+    def _entry(self, series_id: str) -> dict:
+        try:
+            return self._series[series_id]
+        except KeyError:
+            known = ", ".join(sorted(self._series)) or "(none)"
+            raise ValueError(
+                f"unknown series {series_id!r}; known: {known}"
+            ) from None
+
+    def _load(self, series_id: str) -> TieredStore:
+        if series_id in self._stores:
+            return self._stores[series_id]
+        entry = self._entry(series_id)
+        data = (self._root / entry["shard"]).read_bytes()
+        # The snapshot's own crc catches bit rot; the manifest crc also
+        # catches a shard file swapped with another (valid) one.
+        if zlib.crc32(data) != entry["crc32"]:
+            raise ValueError(
+                f"shard {entry['shard']} does not match the manifest crc "
+                f"for series {series_id!r} (swapped or corrupt shard file)"
+            )
+        store = TieredStore.from_bytes(data)
+        if len(store) != entry["count"]:
+            raise ValueError(
+                f"shard {entry['shard']} holds {len(store)} values, "
+                f"manifest says {entry['count']}"
+            )
+        self._stores[series_id] = store
+        return store
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            **self._config,
+            "next_shard": self._next_shard,
+            "series": self._series,
+        }
+        # No sort_keys: the series mapping keeps ingestion order, and equal
+        # states serialise to identical bytes either way.
+        blob = json.dumps(manifest, indent=2).encode("utf-8")
+        _write_atomic(self._root / MANIFEST_NAME, blob + b"\n")

@@ -142,6 +142,78 @@ class TestCompressionRatioIsO1:
         )
 
 
+class TestNativeLoadSetsN:
+    """load_compressed must propagate frame.n so loaded objects stay O(1)."""
+
+    def test_loaded_native_knows_n_without_decompressing(self, series):
+        c = repro.compress(series, codec="gorilla")
+        d = Compressed.from_bytes(c.to_bytes())
+        calls = []
+        d.decompress = lambda: calls.append(1)  # any decompress would be O(n)
+        assert len(d) == len(series)
+        assert 0 < d.compression_ratio() < 2
+        assert calls == []
+
+    def test_loader_that_skips_n_is_fixed_up(self, series):
+        """A native loader that never sets _n must not force an O(n) len()."""
+        calls = []
+
+        class _Opaque(Compressed):
+            payload_is_native = True
+
+            def __init__(self, values):
+                self._values = np.asarray(values, dtype=np.int64)
+
+            def size_bits(self):
+                return 64 * len(self._values)
+
+            def decompress(self):
+                calls.append(1)
+                return self._values
+
+            def access(self, k):
+                return int(self._values[k])
+
+            def to_payload(self):
+                return self._values.tobytes()
+
+        class _OpaqueCompressor:
+            def compress(self, values):
+                return _Opaque(values)
+
+        register_codec(
+            "opaque",
+            load_native=lambda payload, params: _Opaque(
+                np.frombuffer(payload, dtype=np.int64)
+            ),
+        )(_OpaqueCompressor)
+        try:
+            c = get_codec("opaque").compress(series)
+            frame = c.to_bytes()
+            calls.clear()  # the writer may decompress; the loader must not
+            d = Compressed.from_bytes(frame)
+            assert d._n == len(series)
+            assert len(d) == len(series)
+            assert d.compression_ratio() == 1.0
+            assert calls == []  # neither len() nor the ratio decompressed
+        finally:
+            unregister_codec("opaque")
+
+    def test_native_header_count_mismatch_raises(self, series):
+        from repro.codecs.serialize import KIND_NATIVE, write_frame
+
+        c = repro.compress(series, codec="gorilla")
+        frame = write_frame("gorilla", {}, len(series) + 7, KIND_NATIVE,
+                            c.to_payload())
+        with pytest.raises(ValueError, match="header says"):
+            Compressed.from_bytes(frame)
+
+    def test_values_path_also_records_n(self, series):
+        c = repro.compress(series, codec="dac")  # values-fallback codec
+        d = Compressed.from_bytes(c.to_bytes())
+        assert d._n == len(series)
+
+
 class TestErrorCases:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad.rpac"

@@ -1,9 +1,25 @@
 """Unit tests for timestamped series and the tiered ingest store."""
 
+import json
+import struct
+import zlib
+
 import numpy as np
 import pytest
 
 from repro.core import TieredStore, TimestampedSeries
+
+
+def _tamper_meta(blob: bytes, mutate) -> bytes:
+    """Rewrite a TieredStore snapshot's JSON metadata, keeping the crc valid."""
+    assert blob[:8] == b"RPTS0001"
+    (meta_len,) = struct.unpack_from("<q", blob, 12)
+    meta = json.loads(blob[20 : 20 + meta_len])
+    rest = blob[20 + meta_len :]
+    mutate(meta)
+    meta_b = json.dumps(meta, sort_keys=True).encode("utf-8")
+    body = struct.pack("<q", len(meta_b)) + meta_b + rest
+    return b"RPTS0001" + struct.pack("<I", zlib.crc32(body)) + body
 
 
 @pytest.fixture
@@ -144,3 +160,126 @@ class TestTieredStore:
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             TieredStore(seal_threshold=0)
+
+
+class TestExtendBulkEquivalence:
+    """extend() seals in bulk but must match the per-value append path exactly."""
+
+    @pytest.mark.parametrize("total", [1, 63, 64, 65, 127, 128, 130, 333])
+    def test_matches_per_value_append(self, rng, total):
+        y = np.cumsum(rng.integers(-9, 10, total)).astype(np.int64)
+        bulk = TieredStore(seal_threshold=64, hot_codec="gorilla",
+                           cold_codec="leats")
+        bulk.extend(y)
+        serial = TieredStore(seal_threshold=64, hot_codec="gorilla",
+                             cold_codec="leats")
+        for v in y.tolist():
+            serial.append(v)
+        assert bulk.tier_report() == serial.tier_report()
+        assert np.array_equal(bulk.decompress(), y)
+        assert bulk.to_bytes() == serial.to_bytes()
+
+    def test_split_extends_land_mid_buffer(self, rng):
+        y = np.cumsum(rng.integers(-9, 10, 300)).astype(np.int64)
+        split = TieredStore(seal_threshold=64, hot_codec="gorilla",
+                            cold_codec="leats")
+        split.extend(y[:37])   # partial buffer
+        split.extend(y[37:150])  # tops up, seals, continues
+        split.extend(y[150:])
+        whole = TieredStore(seal_threshold=64, hot_codec="gorilla",
+                            cold_codec="leats")
+        whole.extend(y)
+        assert split.tier_report() == whole.tier_report()
+        assert split.to_bytes() == whole.to_bytes()
+
+    def test_rejects_non_1d(self):
+        store = TieredStore(seal_threshold=8)
+        with pytest.raises(ValueError):
+            store.extend(np.zeros((3, 3), dtype=np.int64))
+
+
+class TestAdoptSealed:
+    def test_adopt_preserves_order_and_data(self, rng):
+        from repro.codecs import compress
+
+        y = np.cumsum(rng.integers(-5, 6, 200)).astype(np.int64)
+        store = TieredStore(seal_threshold=64, hot_codec="gorilla")
+        store.extend(y[:30])  # stays in the buffer
+        store.adopt_sealed(compress(y[30:94], codec="gorilla"))
+        store.extend(y[94:])
+        assert np.array_equal(store.decompress(), y)
+        # pre-adopt buffer sealed (30), adopted block (64), sealed chunk (64)
+        report = store.tier_report()
+        assert report["hot_blocks"] == 3
+        assert report["buffer_values"] == 42
+
+    def test_adopt_wrong_codec_raises(self, rng):
+        from repro.codecs import compress
+
+        store = TieredStore(seal_threshold=64, hot_codec="gorilla")
+        with pytest.raises(ValueError, match="hot tier"):
+            store.adopt_sealed(compress(np.arange(64), codec="chimp"))
+
+    def test_adopt_empty_block_raises(self):
+        class _Empty:
+            codec_id = "gorilla"
+
+            def __len__(self):
+                return 0
+
+        store = TieredStore(seal_threshold=64, hot_codec="gorilla")
+        with pytest.raises(ValueError, match="at least one"):
+            store.adopt_sealed(_Empty())
+
+
+class TestSnapshotMetadataValidation:
+    """crc-valid snapshots with inconsistent metadata must raise, not decode."""
+
+    @pytest.fixture
+    def snapshot(self, rng):
+        y = np.cumsum(rng.integers(-9, 10, 500)).astype(np.int64)
+        store = TieredStore(seal_threshold=100, hot_codec="gorilla",
+                            cold_codec="leats")
+        store.extend(y[:300])
+        store.consolidate()
+        store.extend(y[300:])
+        return store.to_bytes()
+
+    def test_untampered_snapshot_loads(self, snapshot):
+        TieredStore.from_bytes(_tamper_meta(snapshot, lambda meta: None))
+
+    def test_frame_count_mismatch_raises(self, snapshot):
+        blob = _tamper_meta(snapshot, lambda m: m["hot_counts"].pop())
+        with pytest.raises(ValueError, match="hot frames but"):
+            TieredStore.from_bytes(blob)
+
+    def test_hot_count_disagreement_raises(self, snapshot):
+        def bump(meta):
+            meta["hot_counts"][0] += 1
+
+        with pytest.raises(ValueError, match="metadata says"):
+            TieredStore.from_bytes(_tamper_meta(snapshot, bump))
+
+    def test_cold_count_disagreement_raises(self, snapshot):
+        def bump(meta):
+            meta["cold_count"] += 1
+
+        with pytest.raises(ValueError, match="metadata says"):
+            TieredStore.from_bytes(_tamper_meta(snapshot, bump))
+
+    def test_cold_count_without_cold_frame_raises(self, rng):
+        store = TieredStore(seal_threshold=100, hot_codec="gorilla")
+        store.extend(np.arange(150, dtype=np.int64))
+
+        def fake_cold(meta):
+            meta["cold_count"] = 5
+
+        with pytest.raises(ValueError, match="no cold frame"):
+            TieredStore.from_bytes(_tamper_meta(store.to_bytes(), fake_cold))
+
+    def test_negative_counts_raise(self, snapshot):
+        def negate(meta):
+            meta["buffer_len"] = -1
+
+        with pytest.raises(ValueError, match="negative"):
+            TieredStore.from_bytes(_tamper_meta(snapshot, negate))

@@ -86,3 +86,85 @@ class TestGenerate:
     def test_generate_unknown_dataset(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["generate", "NOPE", str(tmp_path / "x.csv")])
+
+
+class TestDbFamily:
+    @pytest.fixture
+    def db_root(self, tmp_path):
+        for name, scale in (("a", 1), ("b", 3)):
+            values = (np.arange(1500) * scale).astype(np.int64)
+            write_csv(tmp_path / f"{name}.csv", values, digits=0)
+        root = tmp_path / "db"
+        assert main(["db", "init", str(root), "--seal-threshold", "256",
+                     "--cold-codec", "leats"]) == 0
+        assert main(["db", "ingest", str(root), str(tmp_path / "a.csv"),
+                     str(tmp_path / "b.csv"), "--workers", "2"]) == 0
+        return root
+
+    def test_init_twice_fails(self, db_root, capsys):
+        assert main(["db", "init", str(db_root)]) == 1
+
+    def test_info_lists_series(self, db_root, capsys):
+        assert main(["db", "info", str(db_root)]) == 0
+        out = capsys.readouterr().out
+        assert "a: 1,500 values" in out and "b: 1,500 values" in out
+
+    def test_query_at_and_range(self, db_root, capsys):
+        assert main(["db", "query", str(db_root), "b", "--at", "7"]) == 0
+        assert "b[7] 21" in capsys.readouterr().out
+        assert main(["db", "query", str(db_root), "a",
+                     "--range", "10", "13"]) == 0
+        assert capsys.readouterr().out.split() == ["10", "11", "12"]
+
+    def test_query_unknown_series(self, db_root, capsys):
+        assert main(["db", "query", str(db_root), "nope"]) == 1
+
+    def test_query_out_of_range(self, db_root, capsys):
+        assert main(["db", "query", str(db_root), "a", "--at", "99999"]) == 1
+
+    def test_query_range_out_of_bounds(self, db_root, capsys):
+        assert main(["db", "query", str(db_root), "a",
+                     "--range", "0", "99999"]) == 1
+        assert "out of range" in capsys.readouterr().err
+        assert main(["db", "query", str(db_root), "a",
+                     "--range", "-5", "3"]) == 1
+
+    def test_query_uses_recorded_digits(self, db_root, tmp_path, capsys):
+        write_csv(tmp_path / "scaled.csv", np.arange(300, dtype=np.int64),
+                  digits=0)
+        assert main(["db", "ingest", str(db_root), str(tmp_path / "scaled.csv"),
+                     "--digits", "2"]) == 0
+        capsys.readouterr()
+        # no --digits on query: the manifest's recorded scaling applies
+        assert main(["db", "query", str(db_root), "scaled", "--at", "123"]) == 0
+        assert "scaled[123] 123.00" in capsys.readouterr().out
+        assert main(["db", "info", str(db_root)]) == 0
+        assert "digits 2" in capsys.readouterr().out
+
+    def test_compact_then_query(self, db_root, capsys):
+        assert main(["db", "compact", str(db_root)]) == 0
+        assert "compacted 2 shard(s)" in capsys.readouterr().out
+        assert main(["db", "query", str(db_root), "b", "--at", "1000"]) == 0
+        assert "b[1000] 3000" in capsys.readouterr().out
+
+    def test_series_names_flag(self, db_root, tmp_path, capsys):
+        write_csv(tmp_path / "c.csv", np.arange(300, dtype=np.int64), digits=0)
+        assert main(["db", "ingest", str(db_root), str(tmp_path / "c.csv"),
+                     "--series", "renamed"]) == 0
+        assert main(["db", "query", str(db_root), "renamed"]) == 0
+        assert "renamed: 300 values" in capsys.readouterr().out
+
+    def test_series_names_count_mismatch(self, db_root, tmp_path):
+        assert main(["db", "ingest", str(db_root), str(tmp_path / "a.csv"),
+                     "--series", "x,y"]) == 1
+
+    def test_duplicate_stems_rejected(self, db_root, tmp_path, capsys):
+        (tmp_path / "d1").mkdir()
+        (tmp_path / "d2").mkdir()
+        for d in ("d1", "d2"):
+            write_csv(tmp_path / d / "same.csv",
+                      np.arange(100, dtype=np.int64), digits=0)
+        assert main(["db", "ingest", str(db_root),
+                     str(tmp_path / "d1" / "same.csv"),
+                     str(tmp_path / "d2" / "same.csv")]) == 1
+        assert "duplicate series ids" in capsys.readouterr().err
