@@ -25,9 +25,14 @@ True
 
 Persistence (any codec, one self-describing archive format)::
 
-    repro.save("series.rpac", c, digits=2)
+    repro.save("series.rpac", c, digits=2)     # atomic: temp + fsync + rename
     archive = repro.open("series.rpac")        # knows its codec and digits
     archive.access(1234); archive.decompress_range(100, 200)
+
+Cold-query fast path: ``repro.open(path, lazy=True)`` memory-maps the
+archive and parses it zero-copy on first touch — every codec loads its
+native byte layout directly off the map, no recompression, crc checked on
+first decode.
 
 Many series at once: :func:`compress_many` fans compression out over a
 process pool, and :class:`SeriesDB` is a durable shard-per-series store

@@ -1,0 +1,77 @@
+"""Struct helpers shared by the native frame payloads of DAC, LeCo, and ALP.
+
+These codecs store their compressed state in the repo's succinct structures
+(:class:`~repro.bits.packed.PackedArray`, :class:`~repro.bits.BitVector`);
+their native payloads serialise those structures by word buffer, so loading
+is a direct O(size) parse — no recompression — and works over any byte
+buffer, including a ``memoryview`` of a memory-mapped archive.
+
+Layouts (little-endian):
+
+* packed array — ``width:u8, length:i64, nwords:i64`` + words;
+* bitvector    — ``length:i64, nwords:i64`` + words.
+
+The word counts are written explicitly (rather than derived from the
+lengths) so a round-trip re-serialises bit-identically to the original
+writer output, whose buffer always carries one trailing partial word.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..bits import BitVector, PackedArray
+
+__all__ = [
+    "pack_packed_array",
+    "unpack_packed_array",
+    "pack_bitvector",
+    "unpack_bitvector",
+    "read_words",
+]
+
+_PACKED_HDR = struct.Struct("<Bqq")  # width, length, nwords
+_BV_HDR = struct.Struct("<qq")  # length, nwords
+
+
+def read_words(view, pos: int, nwords: int, what: str) -> tuple[np.ndarray, int]:
+    """``nwords`` little-endian u64 words at ``pos`` — zero-copy when possible."""
+    if nwords < 0 or pos + 8 * nwords > len(view):
+        raise ValueError(f"corrupt {what}: bad word count {nwords}")
+    words = np.frombuffer(view, dtype=np.uint64, count=nwords, offset=pos)
+    return words, pos + 8 * nwords
+
+
+def pack_packed_array(arr: PackedArray) -> bytes:
+    """Serialise a :class:`PackedArray` (header + word buffer)."""
+    words = arr.words
+    return _PACKED_HDR.pack(arr.width, len(arr), len(words)) + words.tobytes()
+
+
+def unpack_packed_array(view, pos: int, what: str) -> tuple[PackedArray, int]:
+    """Inverse of :func:`pack_packed_array`, reading at ``pos`` in ``view``."""
+    if pos + _PACKED_HDR.size > len(view):
+        raise ValueError(f"corrupt {what}: truncated packed array header")
+    width, length, nwords = _PACKED_HDR.unpack_from(view, pos)
+    words, pos = read_words(view, pos + _PACKED_HDR.size, nwords, what)
+    return PackedArray.from_words(words, width, length), pos
+
+
+def pack_bitvector(bv: BitVector) -> bytes:
+    """Serialise a :class:`BitVector` (header + word buffer)."""
+    words = bv.words
+    return _BV_HDR.pack(bv.length, len(words)) + words.tobytes()
+
+
+def unpack_bitvector(view, pos: int, what: str) -> tuple[BitVector, int]:
+    """Inverse of :func:`pack_bitvector`, reading at ``pos`` in ``view``."""
+    if pos + _BV_HDR.size > len(view):
+        raise ValueError(f"corrupt {what}: truncated bitvector header")
+    length, nwords = _BV_HDR.unpack_from(view, pos)
+    if length < 0 or nwords != (length + 63) // 64:
+        raise ValueError(f"corrupt {what}: bitvector holds {nwords} words "
+                         f"for {length} bits")
+    words, pos = read_words(view, pos + _BV_HDR.size, nwords, what)
+    return BitVector((words, length)), pos

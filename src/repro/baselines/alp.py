@@ -16,9 +16,12 @@ the int64 round-trip exact as well.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from ..bits.packed import PackedArray, min_width
+from ._native import pack_packed_array, unpack_packed_array
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["AlpCompressor"]
@@ -27,6 +30,9 @@ _BLOCK = 1024
 _MAX_E = 14
 _POW10 = np.power(10.0, np.arange(_MAX_E + 1))
 _SAMPLE = 32
+
+_ALP_HDR = struct.Struct("<qdq")  # n, scale, number of integer patches
+_ALP_BLOCK = struct.Struct("<BBqqq")  # e, f, base, count, exception count
 
 
 def _try_pair(xs: np.ndarray, e: int, f: int) -> np.ndarray | None:
@@ -94,6 +100,8 @@ class _AlpBlock:
 
 
 class _AlpCompressed(Compressed):
+    payload_is_native = True
+
     def __init__(
         self,
         blocks: list[_AlpBlock],
@@ -147,6 +155,71 @@ class _AlpCompressed(Compressed):
         xs = np.concatenate([self._blocks[i].decode() for i in range(first, last + 1)])
         base = first * _BLOCK
         return self._to_int(xs, base)[lo - base : hi - base]
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: per-block (e, f) codes, packed digits, and
+        exceptions, plus the integer-level patches."""
+        parts = [_ALP_HDR.pack(self._n, self._scale, len(self._patches))]
+        for pos_, value in sorted(self._patches.items()):
+            parts.append(struct.pack("<qq", pos_, value))
+        parts.append(struct.pack("<q", len(self._blocks)))
+        for b in self._blocks:
+            parts.append(
+                _ALP_BLOCK.pack(b.e, b.f, b.base, b.count, len(b.exc_pos))
+            )
+            parts.append(pack_packed_array(b.packed))
+            parts.append(np.asarray(b.exc_pos, dtype=np.int64).tobytes())
+            parts.append(np.asarray(b.exc_raw, dtype=np.float64).tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload) -> "_AlpCompressed":
+        """Rebuild from :meth:`to_payload` output — a direct parse, no
+        recompression (works over any byte buffer, e.g. an mmapped frame)."""
+        view = memoryview(payload) if not isinstance(payload, memoryview) else payload
+        if len(view) < _ALP_HDR.size:
+            raise ValueError("corrupt ALP payload: header incomplete")
+        n, scale, npatches = _ALP_HDR.unpack_from(view)
+        if n < 0 or npatches < 0 or not scale > 0:
+            raise ValueError("corrupt ALP payload: bad header")
+        pos = _ALP_HDR.size
+        if pos + 16 * npatches + 8 > len(view):
+            raise ValueError("corrupt ALP payload: truncated patch table")
+        patches = {}
+        for _ in range(npatches):
+            k, value = struct.unpack_from("<qq", view, pos)
+            pos += 16
+            patches[k] = value
+        (nblocks,) = struct.unpack_from("<q", view, pos)
+        pos += 8
+        if nblocks < 1:
+            raise ValueError(f"corrupt ALP payload: {nblocks} blocks")
+        blocks: list[_AlpBlock] = []
+        for _ in range(nblocks):
+            if pos + _ALP_BLOCK.size > len(view):
+                raise ValueError("corrupt ALP payload: truncated block header")
+            e, f, base, count, n_exc = _ALP_BLOCK.unpack_from(view, pos)
+            pos += _ALP_BLOCK.size
+            if not 0 <= e <= _MAX_E or not 0 <= f <= _MAX_E:
+                raise ValueError(f"corrupt ALP payload: exponent pair ({e}, {f})")
+            if n_exc < 0 or count < 1:
+                raise ValueError("corrupt ALP payload: bad block counts")
+            packed, pos = unpack_packed_array(view, pos, "ALP payload")
+            if len(packed) != count:
+                raise ValueError(
+                    f"corrupt ALP payload: block packs {len(packed)} digits, "
+                    f"header says {count}"
+                )
+            if pos + 16 * n_exc > len(view):
+                raise ValueError("corrupt ALP payload: truncated exceptions")
+            exc_pos = np.frombuffer(view, dtype=np.int64, count=n_exc, offset=pos)
+            pos += 8 * n_exc
+            exc_raw = np.frombuffer(view, dtype=np.float64, count=n_exc, offset=pos)
+            pos += 8 * n_exc
+            blocks.append(_AlpBlock(e, f, base, packed, exc_pos, exc_raw, count))
+        if pos != len(view):
+            raise ValueError("corrupt ALP payload: trailing bytes")
+        return cls(blocks, n, scale, patches)
 
 
 class AlpCompressor(LosslessCompressor):

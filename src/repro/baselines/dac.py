@@ -13,14 +13,24 @@ Level widths are chosen with the optimal dynamic program from the DAC paper
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from ..bits import BitVector, PackedArray
+from ._native import (
+    pack_bitvector,
+    pack_packed_array,
+    unpack_bitvector,
+    unpack_packed_array,
+)
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["DacCompressor", "optimal_level_widths"]
 
 _MAX_WIDTH = 64
+_DAC_HDR = struct.Struct("<qB")  # n, number of levels
+_LEVEL_HDR = struct.Struct("<BB")  # chunk width, has-bitmap flag
 
 
 def optimal_level_widths(bit_lengths: np.ndarray, max_levels: int = 8) -> list[int]:
@@ -60,6 +70,8 @@ def optimal_level_widths(bit_lengths: np.ndarray, max_levels: int = 8) -> list[i
 
 
 class _DacCompressed(Compressed):
+    payload_is_native = True
+
     def __init__(
         self,
         levels: list[PackedArray],
@@ -145,6 +157,59 @@ class _DacCompressed(Compressed):
         half = (out >> np.uint64(1)).astype(np.int64)
         sign = (out & np.uint64(1)).astype(np.int64)
         return half ^ -sign
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: per-level chunk arrays and bitmaps."""
+        parts = [_DAC_HDR.pack(self._n, len(self._levels))]
+        for level, bitmap, width in zip(self._levels, self._bitmaps, self._widths):
+            parts.append(_LEVEL_HDR.pack(width, 0 if bitmap is None else 1))
+            parts.append(pack_packed_array(level))
+            if bitmap is not None:
+                parts.append(pack_bitvector(bitmap))
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload) -> "_DacCompressed":
+        """Rebuild from :meth:`to_payload` output — a direct parse, no
+        recompression (works over any byte buffer, e.g. an mmapped frame)."""
+        view = memoryview(payload) if not isinstance(payload, memoryview) else payload
+        if len(view) < _DAC_HDR.size:
+            raise ValueError("corrupt DAC payload: header incomplete")
+        n, nlevels = _DAC_HDR.unpack_from(view)
+        if n < 0 or nlevels < 1:
+            raise ValueError(f"corrupt DAC payload: {nlevels} levels, n={n}")
+        pos = _DAC_HDR.size
+        levels: list[PackedArray] = []
+        bitmaps: list[BitVector | None] = []
+        widths: list[int] = []
+        expected = n
+        for _ in range(nlevels):
+            if pos + _LEVEL_HDR.size > len(view):
+                raise ValueError("corrupt DAC payload: truncated level header")
+            width, has_bitmap = _LEVEL_HDR.unpack_from(view, pos)
+            pos += _LEVEL_HDR.size
+            level, pos = unpack_packed_array(view, pos, "DAC payload")
+            if len(level) != expected:
+                raise ValueError(
+                    f"corrupt DAC payload: level holds {len(level)} chunks, "
+                    f"expected {expected}"
+                )
+            levels.append(level)
+            widths.append(width)
+            if has_bitmap:
+                bitmap, pos = unpack_bitvector(view, pos, "DAC payload")
+                if bitmap.length != expected:
+                    raise ValueError(
+                        "corrupt DAC payload: bitmap length disagrees with "
+                        "its level"
+                    )
+                bitmaps.append(bitmap)
+                expected = bitmap.count_ones
+            else:
+                bitmaps.append(None)
+        if pos != len(view):
+            raise ValueError("corrupt DAC payload: trailing bytes")
+        return cls(levels, bitmaps, widths, n)
 
 
 def _unzigzag(v: int) -> int:

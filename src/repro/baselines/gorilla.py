@@ -147,8 +147,12 @@ class _XorBlockCompressed(Compressed):
         return b"".join(parts)
 
     @classmethod
-    def from_payload(cls, payload: bytes, decode_fn) -> "_XorBlockCompressed":
-        """Rebuild from :meth:`to_payload` output plus the family's decoder."""
+    def from_payload(cls, payload, decode_fn) -> "_XorBlockCompressed":
+        """Rebuild from :meth:`to_payload` output plus the family's decoder.
+
+        Zero-copy: block word buffers are adopted as (read-only) views of
+        ``payload``, which may be any byte buffer, e.g. an mmapped frame.
+        """
         if len(payload) < 24:
             raise ValueError("corrupt XOR payload: header incomplete")
         n, block_size, nblocks = struct.unpack_from("<qqq", payload)
@@ -163,7 +167,7 @@ class _XorBlockCompressed(Compressed):
             if nwords < 0 or end > len(payload):
                 raise ValueError("corrupt XOR payload: bad block length")
             words = np.frombuffer(payload, dtype=np.uint64, count=nwords, offset=pos)
-            blocks.append((words.copy(), bit_length, count))
+            blocks.append((words, bit_length, count))
             pos = end
         return cls(blocks, n, block_size, decode_fn)
 

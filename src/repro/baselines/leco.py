@@ -16,16 +16,21 @@ fetch (matching LeCo's own layout).
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from ..bits import EliasFano
 from ..bits.packed import PackedArray, min_width
+from ._native import pack_packed_array, unpack_packed_array
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["LeCoCompressor"]
 
 _INITIAL_BLOCK = 128
 _BLOCK_OVERHEAD_BITS = 2 * 64 + 64 + 8 + 32  # slope, intercept, base, width, start
+_LECO_HDR = struct.Struct("<qq")  # n, number of blocks
+_LECO_BLOCK = struct.Struct("<qddq")  # start, slope, intercept, base
 
 
 def _fit_block(values: np.ndarray) -> tuple[float, float, np.ndarray]:
@@ -65,6 +70,8 @@ class _LeCoBlock:
 
 
 class _LeCoCompressed(Compressed):
+    payload_is_native = True
+
     def __init__(self, blocks: list[_LeCoBlock], n: int) -> None:
         self._blocks = blocks
         self._n = n
@@ -120,6 +127,46 @@ class _LeCoCompressed(Compressed):
             pos = c
             i += 1
         return np.concatenate(out)
+
+    def to_payload(self) -> bytes:
+        """Native frame payload: per-block model params + packed residuals.
+
+        The Elias-Fano start index is not stored — it is rebuilt
+        deterministically from the block starts on load (O(#blocks)).
+        """
+        parts = [_LECO_HDR.pack(self._n, len(self._blocks))]
+        for b in self._blocks:
+            parts.append(_LECO_BLOCK.pack(b.start, b.slope, b.intercept, b.base))
+            parts.append(pack_packed_array(b.resid))
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload) -> "_LeCoCompressed":
+        """Rebuild from :meth:`to_payload` output — a direct parse, no
+        recompression (works over any byte buffer, e.g. an mmapped frame)."""
+        view = memoryview(payload) if not isinstance(payload, memoryview) else payload
+        if len(view) < _LECO_HDR.size:
+            raise ValueError("corrupt LeCo payload: header incomplete")
+        n, nblocks = _LECO_HDR.unpack_from(view)
+        if n < 0 or nblocks < 1:
+            raise ValueError(f"corrupt LeCo payload: {nblocks} blocks, n={n}")
+        pos = _LECO_HDR.size
+        blocks: list[_LeCoBlock] = []
+        prev_start = -1
+        for _ in range(nblocks):
+            if pos + _LECO_BLOCK.size > len(view):
+                raise ValueError("corrupt LeCo payload: truncated block header")
+            start, slope, intercept, base = _LECO_BLOCK.unpack_from(view, pos)
+            pos += _LECO_BLOCK.size
+            ok = (start == 0) if not blocks else (prev_start < start < n)
+            if not ok:
+                raise ValueError(f"corrupt LeCo payload: bad block start {start}")
+            resid, pos = unpack_packed_array(view, pos, "LeCo payload")
+            blocks.append(_LeCoBlock(start, slope, intercept, base, resid))
+            prev_start = start
+        if pos != len(view):
+            raise ValueError("corrupt LeCo payload: trailing bytes")
+        return cls(blocks, n)
 
 
 class LeCoCompressor(LosslessCompressor):

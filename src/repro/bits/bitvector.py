@@ -110,6 +110,15 @@ class BitVector:
 
     # -- queries -----------------------------------------------------------
 
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying ``uint64`` word buffer (for serialisation).
+
+        Rebuilding via ``BitVector((words, length))`` reproduces this vector
+        exactly, rank directory and select samples included.
+        """
+        return self._words
+
     def __len__(self) -> int:
         return self.length
 

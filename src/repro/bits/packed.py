@@ -47,10 +47,41 @@ class PackedArray(Sequence[int]):
         self._width = width
         self._length = len(values)
 
+    @classmethod
+    def from_words(cls, words: np.ndarray, width: int, length: int) -> "PackedArray":
+        """Rebuild an array directly from its packed word buffer.
+
+        This is the deserialisation fast path: ``words`` is the buffer a
+        previous array exposed through ``_reader.words`` (e.g. read back from
+        a native codec frame), adopted without the per-element
+        :class:`~repro.bits.io.BitWriter` loop of ``__init__``.  Bits past
+        ``length * width`` must be zero, as the writer guarantees.
+        """
+        if width < 0 or width > 64:
+            raise ValueError(f"width must be in [0, 64], got {width}")
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        words = np.asarray(words, dtype=np.uint64)
+        if len(words) * 64 < length * width:
+            raise ValueError(
+                f"packed buffer holds {len(words) * 64} bits, "
+                f"{length}x{width}-bit elements need {length * width}"
+            )
+        self = object.__new__(cls)
+        self._reader = BitReader(words, length * width)
+        self._width = width
+        self._length = length
+        return self
+
     @property
     def width(self) -> int:
         """Bits per element."""
         return self._width
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying packed word buffer (for serialisation)."""
+        return self._reader.words
 
     def __len__(self) -> int:
         return self._length

@@ -6,7 +6,7 @@ Usage::
     python -m repro compress   input.csv  output.rpac --codec gorilla
     python -m repro decompress output.rpac restored.csv
     python -m repro info       output.rpac
-    python -m repro access     output.rpac 12345
+    python -m repro access     output.rpac 12345 --lazy
     python -m repro generate   IT out.csv --n 10000
 
     python -m repro db init    dbdir --hot-codec gorilla --cold-codec neats
@@ -21,8 +21,10 @@ through a process pool and recompressed in the background by ``compact``.
 
 Any codec from ``repro.codecs.available_codecs()`` can write an archive; the
 self-describing container records which one, so ``decompress``, ``info`` and
-``access`` need no codec flag.  Archives produced by older versions (magic
-``NTSF0001``) remain readable.
+``access`` need no codec flag.  ``--lazy`` (on ``info``, ``access``, and
+``db query``) memory-maps files and parses them zero-copy instead of reading
+them up front — the cold-query fast path.  Archives produced by older
+versions (magic ``NTSF0001``) remain readable.
 
 CSV files hold one fixed-precision decimal per line (the paper's dataset
 interchange format); ``--digits`` controls the decimal scaling of §II.
@@ -89,7 +91,7 @@ def _cmd_decompress(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    archive = open_archive(Path(args.input))
+    archive = open_archive(Path(args.input), lazy=args.lazy)
     compressed = archive.compressed
     print(f"codec:         {archive.codec_id}")
     if archive.params:
@@ -110,7 +112,7 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_access(args) -> int:
-    archive = open_archive(Path(args.input))
+    archive = open_archive(Path(args.input), lazy=args.lazy)
     n = len(archive)
     for k in args.positions:
         if not 0 <= k < n:
@@ -188,7 +190,7 @@ def _cmd_db_ingest(args) -> int:
 def _cmd_db_query(args) -> int:
     from .store import SeriesDB
 
-    db = SeriesDB.open(args.root)
+    db = SeriesDB.open(args.root, lazy=args.lazy)
     if args.sid not in db:
         known = ", ".join(db.series_ids()) or "(none)"
         print(f"unknown series {args.sid!r}; known: {known}", file=sys.stderr)
@@ -281,6 +283,8 @@ def _add_db_parsers(sub) -> None:
     p.add_argument("--digits", type=int, default=None,
                    help="decimal scaling for printed values "
                         "(default: as recorded at ingest)")
+    p.add_argument("--lazy", action="store_true",
+                   help="mmap shard files and parse them zero-copy")
     p.set_defaults(func=_cmd_db_query)
 
     p = dbsub.add_parser("compact", help="consolidate hot tiers into cold runs")
@@ -323,11 +327,15 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("info", help="describe an archive")
     p.add_argument("input")
+    p.add_argument("--lazy", action="store_true",
+                   help="mmap the archive instead of reading it eagerly")
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser("access", help="random access into an archive")
     p.add_argument("input")
     p.add_argument("positions", type=int, nargs="+")
+    p.add_argument("--lazy", action="store_true",
+                   help="mmap the archive; crc is checked on first decode")
     p.set_defaults(func=_cmd_access)
 
     p = sub.add_parser("generate", help="emit a synthetic dataset as CSV")

@@ -8,6 +8,9 @@ The public surface of the codec subsystem:
   tagged with the provenance that makes serialisation self-describing;
 * :func:`save` / :func:`open_archive` — the on-disk container
   (re-exported at top level as ``repro.save`` / ``repro.open``).
+  ``save`` writes atomically; ``open_archive(path, lazy=True)`` mmaps the
+  archive and parses it zero-copy on first touch (crc on first decode)
+  instead of reading the whole file eagerly.
 
 >>> import numpy as np
 >>> from repro.codecs import compress

@@ -24,9 +24,12 @@ from ..baselines import (
     LeCoCompressor,
     TSXorCompressor,
 )
+from ..baselines.alp import _AlpCompressed
 from ..baselines.base import LosslessCompressor
 from ..baselines.blockwise import BlockwiseCompressed
 from ..baselines.chimp import chimp128_decode, chimp_decode
+from ..baselines.dac import _DacCompressed
+from ..baselines.leco import _LeCoCompressed
 from ..baselines.general import (
     BrotliLikeCompressor,
     Lz4LikeCompressor,
@@ -97,6 +100,18 @@ def _load_tsxor(payload: bytes, params: dict) -> _TSXorCompressed:
     return _TSXorCompressed.from_payload(payload)
 
 
+def _load_dac(payload, params: dict) -> _DacCompressed:
+    return _DacCompressed.from_payload(payload)
+
+
+def _load_leco(payload, params: dict) -> _LeCoCompressed:
+    return _LeCoCompressed.from_payload(payload)
+
+
+def _load_alp(payload, params: dict) -> _AlpCompressed:
+    return _AlpCompressed.from_payload(payload)
+
+
 # -- registrations -------------------------------------------------------------
 
 # The NeaTS family: native random access, persisted via the succinct layout.
@@ -152,18 +167,21 @@ register_codec(
     table_name="DAC",
     native_random_access=True,
     description="Directly Addressable Codes (Brisaboa et al., IPM 2013)",
+    load_native=_load_dac,
 )(DacCompressor)
 register_codec(
     "leco",
     table_name="LeCo",
     native_random_access=True,
     description="LeCo: learned serial-correlation compression (SIGMOD 2024)",
+    load_native=_load_leco,
 )(LeCoCompressor)
 register_codec(
     "alp",
     table_name="ALP",
     needs_digits=True,
     description="ALP: adaptive lossless floating-point (Afroozeh et al. 2023)",
+    load_native=_load_alp,
 )(AlpCompressor)
 
 # General-purpose baselines (block-wise adapter, paper §IV-A2).

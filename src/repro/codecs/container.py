@@ -13,24 +13,52 @@ truncation before any codec parsing runs.  ``digits`` is the dataset's
 decimal scaling (§II of the paper), kept at the container level because it
 describes the *values*, not the codec.
 
+Two open modes exist:
+
+* **eager** (the default) — read the whole file, verify the crc, and parse
+  the frame up front.  Errors surface at :func:`open_archive` time.
+* **lazy** (``open_archive(path, lazy=True)``, i.e. ``repro.open(path,
+  lazy=True)``) — ``mmap`` the file and validate only the fixed container
+  header.  The compressed object is parsed from a ``memoryview`` over the
+  map on first touch (no full-file copy — native payloads adopt the mapped
+  bytes directly), and the crc is verified once, on the first operation
+  that decodes values (``access``/``decompress``/``decompress_range``/
+  ``values``).  The map is held by the archive and by any arrays parsed
+  out of it, so it stays valid for the life of those objects; corruption
+  therefore surfaces at first decode instead of at open.
+
+``save`` writes atomically (temp file + fsync + rename), matching the
+SeriesDB shard-flush discipline: a crash mid-save leaves either the old
+archive or the new one, never a truncated file.
+
 Archives written by the seed CLI (magic ``NTSF0001``, NeaTS-only) remain
-readable: :func:`open_archive` transparently upgrades them to a
+readable in both modes: the container transparently upgrades them to a
 :class:`~repro.core.compressor.CompressedSeries` tagged as ``neats``.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 import struct
 import zlib
-from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from ..baselines.base import Compressed
+from . import serialize
 from .registry import load_compressed
 
-__all__ = ["ARCHIVE_MAGIC", "LEGACY_MAGIC", "Archive", "save", "open_archive"]
+__all__ = [
+    "ARCHIVE_MAGIC",
+    "LEGACY_MAGIC",
+    "Archive",
+    "save",
+    "open_archive",
+    "write_atomic",
+    "mmap_view",
+]
 
 ARCHIVE_MAGIC = b"RPAC0001"
 LEGACY_MAGIC = b"NTSF0001"
@@ -38,30 +66,95 @@ LEGACY_MAGIC = b"NTSF0001"
 _HEADER = struct.Struct("<8siIQ")  # magic, digits, crc32(frame), frame length
 
 
-@dataclass
+def write_atomic(path, blob: bytes) -> None:
+    """Durable atomic write: temp file + fsync + rename + directory fsync.
+
+    Readers never see a torn file, and once the rename is visible the data
+    blocks are on disk — power loss cannot leave a truncated archive (or a
+    manifest pointing at a zero-length shard) behind.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def mmap_view(path) -> memoryview | None:
+    """A read-only ``memoryview`` over ``path`` via mmap, or ``None``.
+
+    ``None`` means the file cannot be mapped (empty file, mmap-hostile
+    filesystem) and the caller should fall back to an eager read.  The view
+    keeps the underlying map alive (``view.obj``); the map is unmapped when
+    the last reference to the view — or anything parsed out of it — dies.
+    """
+    try:
+        with open(path, "rb") as fh:
+            return memoryview(mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ))
+    except (ValueError, OSError):
+        return None
+
+
 class Archive:
     """An opened archive: the compressed series plus container metadata.
 
     Delegates the :class:`Compressed` query protocol, so an archive can be
-    used wherever a compressed series can.
+    used wherever a compressed series can.  Lazily-opened archives (see
+    module docstring) materialise :attr:`compressed` on first touch and
+    crc-check on first decode; eager archives are fully validated already.
     """
 
-    compressed: Compressed
-    digits: int = 0
-    codec_id: str = ""
-    params: dict = field(default_factory=dict)
-    path: Path | None = None
+    def __init__(
+        self,
+        compressed: Compressed | None = None,
+        digits: int = 0,
+        codec_id: str = "",
+        params: dict | None = None,
+        path: Path | None = None,
+    ) -> None:
+        self._compressed = compressed
+        self.digits = digits
+        self.codec_id = codec_id
+        self.params = {} if params is None else params
+        self.path = path
+        self._values: np.ndarray | None = None
+
+    @property
+    def compressed(self) -> Compressed:
+        """The compressed series (parsed on first access when lazy)."""
+        if self._compressed is None:
+            self._compressed = self._materialise()
+        return self._compressed
+
+    def _materialise(self) -> Compressed:
+        raise ValueError("archive holds no compressed payload")
+
+    def _verify(self) -> None:
+        """Integrity hook: lazy archives crc-check here, once."""
 
     def decompress(self) -> np.ndarray:
         """The original int64 values."""
+        self._verify()
         return self.compressed.decompress()
 
     def access(self, k: int) -> int:
         """Random access to position ``k``."""
+        self._verify()
         return self.compressed.access(k)
 
     def decompress_range(self, lo: int, hi: int) -> np.ndarray:
         """Values at positions ``[lo, hi)``."""
+        self._verify()
         return self.compressed.decompress_range(lo, hi)
 
     def size_bits(self) -> int:
@@ -77,11 +170,64 @@ class Archive:
         return self.compressed.compression_ratio(n)
 
     def values(self) -> np.ndarray:
-        """The decoded series as floats, decimal scaling applied."""
-        return self.compressed.decompress() / 10.0**self.digits
+        """The decoded series as floats, decimal scaling applied.
+
+        The decoded array is cached (and marked read-only) so repeated
+        calls do not re-decompress the whole series.
+        """
+        if self._values is None:
+            self._verify()
+            vals = self.compressed.decompress() / 10.0**self.digits
+            vals.setflags(write=False)
+            self._values = vals
+        return self._values
 
     def __len__(self) -> int:
         return len(self.compressed)
+
+
+class _LazyArchive(Archive):
+    """Archive over an mmapped file: parse on first touch, crc on first decode."""
+
+    def __init__(
+        self,
+        *,
+        digits: int,
+        path: Path,
+        mapped: mmap.mmap,
+        frame_view: memoryview,
+        frame: serialize.Frame,
+        crc: int,
+    ) -> None:
+        super().__init__(
+            compressed=None,
+            digits=digits,
+            codec_id=frame.codec_id,
+            params=dict(frame.params),
+            path=path,
+        )
+        self._mmap = mapped  # keeps the map alive alongside parsed views
+        self._frame_view = frame_view
+        self._frame = frame
+        self._crc = crc
+        self._verified = False
+
+    def _materialise(self) -> Compressed:
+        return load_compressed(self._frame_view)
+
+    def _verify(self) -> None:
+        if not self._verified:
+            if zlib.crc32(self._frame_view) != self._crc:
+                raise ValueError(
+                    f"{self.path}: archive checksum mismatch (corrupt payload)"
+                )
+            self._verified = True
+
+    def __len__(self) -> int:
+        # The frame header records the count; no need to parse the payload.
+        if self._compressed is None:
+            return self._frame.n
+        return len(self._compressed)
 
 
 def save(path, compressed: Compressed, digits: int = 0) -> int:
@@ -89,20 +235,30 @@ def save(path, compressed: Compressed, digits: int = 0) -> int:
 
     Returns the number of bytes written.  Accepts any object implementing
     the :class:`Compressed` serialisation protocol (or an :class:`Archive`,
-    unwrapped transparently).
+    unwrapped transparently).  The write is atomic: the archive appears
+    under ``path`` complete and fsynced, or not at all.
     """
     if isinstance(compressed, Archive):
         digits = digits or compressed.digits
         compressed = compressed.compressed
     frame = compressed.to_bytes()
     blob = _HEADER.pack(ARCHIVE_MAGIC, digits, zlib.crc32(frame), len(frame)) + frame
-    Path(path).write_bytes(blob)
+    write_atomic(path, blob)
     return len(blob)
 
 
-def open_archive(path) -> Archive:
-    """Read an archive written by :func:`save` (or by the legacy seed CLI)."""
+def open_archive(path, *, lazy: bool = False) -> Archive:
+    """Read an archive written by :func:`save` (or by the legacy seed CLI).
+
+    With ``lazy=True`` the file is memory-mapped instead of read: the
+    container header is validated up front, the compressed object is parsed
+    from the map on first use, and the crc is checked on first decode (see
+    the module docstring for the full contract).  The default stays eager —
+    fully read, verified, and parsed before returning.
+    """
     path = Path(path)
+    if lazy:
+        return _open_lazy(path)
     data = path.read_bytes()
     if len(data) >= 8 and data[:8] == LEGACY_MAGIC:
         return _open_legacy(path, data)
@@ -129,7 +285,41 @@ def open_archive(path) -> Archive:
     )
 
 
-def _open_legacy(path: Path, data: bytes) -> Archive:
+def _open_lazy(path: Path) -> Archive:
+    view = mmap_view(path)
+    if view is None:
+        # Empty file or mmap-hostile filesystem: the eager path raises the
+        # proper diagnostics (or handles the short file).
+        return open_archive(path, lazy=False)
+    mapped = view.obj
+    if view.nbytes >= 8 and view[:8] == LEGACY_MAGIC:
+        # The legacy format has no frame/crc to defer; parse it straight off
+        # the map (zero-copy: NeaTSStorage adopts the mapped arrays).
+        return _open_legacy(path, view)
+    if view.nbytes < _HEADER.size:
+        raise ValueError(f"{path}: not a repro archive (file too short)")
+    magic, digits, crc, frame_len = _HEADER.unpack_from(view)
+    if magic != ARCHIVE_MAGIC:
+        raise ValueError(f"{path}: not a repro archive (bad magic)")
+    frame_view = view[_HEADER.size :]
+    if frame_view.nbytes != frame_len:
+        raise ValueError(
+            f"{path}: truncated or padded archive "
+            f"(header says {frame_len} frame bytes, found {frame_view.nbytes})"
+        )
+    # Parses only the fixed frame header; payload decoding is deferred.
+    frame = serialize.read_frame(frame_view)
+    return _LazyArchive(
+        digits=digits,
+        path=path,
+        mapped=mapped,
+        frame_view=frame_view,
+        frame=frame,
+        crc=crc,
+    )
+
+
+def _open_legacy(path: Path, data) -> Archive:
     """Decode the seed CLI's ``NTSF0001`` format (NeaTS storage + digits)."""
     from ..core.compressor import CompressedSeries
     from ..core.storage import NeaTSStorage

@@ -162,12 +162,17 @@ def get_codec(name: str, **params):
     return compressor
 
 
-def load_compressed(data: bytes):
+def load_compressed(data):
     """Decode a codec frame (``Compressed.to_bytes`` output) back to an object.
 
     Native payloads parse directly; generic ``values`` payloads re-run the
     recorded codec deterministically, reproducing the identical compressed
     object.
+
+    ``data`` may be any byte buffer — ``bytes``, a ``memoryview``, an mmap
+    slice.  The parse is zero-copy: native loaders adopt views into ``data``
+    (the buffer must outlive the returned object), which is what the lazy
+    archive path of :mod:`repro.codecs.container` builds on.
     """
     from ..baselines.base import Compressed
 

@@ -21,6 +21,14 @@ Two payload kinds exist:
 
 The frame is what :meth:`repro.baselines.base.Compressed.to_bytes` emits and
 what the archive container of :mod:`repro.codecs.container` wraps on disk.
+
+:func:`read_frame` is zero-copy: it accepts any byte buffer — ``bytes``,
+``memoryview``, an ``mmap`` — and the returned :attr:`Frame.payload` is a
+``memoryview`` slice into that buffer, never a copy.  Every native payload
+parser therefore works directly over a memory-mapped archive, which is what
+makes the lazy open path of :mod:`repro.codecs.container` O(parse) instead of
+O(file read).  Callers must keep the source buffer alive while the payload
+(or anything parsed from it) is in use.
 """
 
 from __future__ import annotations
@@ -55,13 +63,18 @@ _HEADER = struct.Struct("<4sBBHIqQ")  # magic, version, kind, idlen, plen, n, pa
 
 @dataclass(frozen=True)
 class Frame:
-    """A parsed codec frame."""
+    """A parsed codec frame.
+
+    ``payload`` is a ``memoryview`` into the buffer :func:`read_frame` was
+    given (zero-copy); call ``bytes(frame.payload)`` when an owned copy is
+    needed.
+    """
 
     codec_id: str
     params: dict
     n: int
     kind: int
-    payload: bytes
+    payload: "bytes | memoryview"
 
     @property
     def native(self) -> bool:
@@ -88,33 +101,51 @@ def write_frame(
     return header + cid + pjson + payload
 
 
-def read_frame(data: bytes) -> Frame:
-    """Parse a frame byte string, validating structure and lengths."""
-    if len(data) < _HEADER.size:
+def read_frame(data) -> Frame:
+    """Parse a frame from any byte buffer, validating structure and lengths.
+
+    ``data`` may be ``bytes``, a ``memoryview``, or an ``mmap``; the payload
+    of the returned :class:`Frame` is a zero-copy ``memoryview`` slice of it.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    total = view.nbytes
+    if total < _HEADER.size:
         raise ValueError("truncated codec frame: header incomplete")
-    magic, version, kind, idlen, plen, n, paylen = _HEADER.unpack_from(data)
+    magic, version, kind, idlen, plen, n, paylen = _HEADER.unpack_from(view)
     if magic != FRAME_MAGIC:
         raise ValueError("not a repro codec frame (bad magic)")
     if version != FRAME_VERSION:
         raise ValueError(f"unsupported codec frame version {version}")
     if kind not in (KIND_VALUES, KIND_NATIVE):
         raise ValueError(f"corrupt codec frame: unknown payload kind {kind}")
+    if n < 0:
+        raise ValueError(f"corrupt codec frame: negative value count {n}")
     pos = _HEADER.size
-    end = pos + idlen + plen + paylen
-    if len(data) != end:
+    avail = total - pos - idlen - plen
+    if avail < 0:
         raise ValueError(
-            f"truncated codec frame: expected {end} bytes, got {len(data)}"
+            "corrupt codec frame: id/params lengths exceed the frame"
         )
-    codec_id = data[pos : pos + idlen].decode("utf-8")
+    if paylen > avail:
+        raise ValueError(
+            f"corrupt codec frame: payload length {paylen} overflows the "
+            f"{total}-byte frame"
+        )
+    if paylen < avail:
+        raise ValueError(
+            f"truncated codec frame: expected {pos + idlen + plen + paylen} "
+            f"bytes, got {total}"
+        )
+    codec_id = bytes(view[pos : pos + idlen]).decode("utf-8")
     pos += idlen
     try:
-        params = json.loads(data[pos : pos + plen].decode("utf-8"))
+        params = json.loads(bytes(view[pos : pos + plen]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ValueError("corrupt codec frame: bad params block") from exc
     if not isinstance(params, dict):
         raise ValueError("corrupt codec frame: params must be an object")
     pos += plen
-    return Frame(codec_id, params, n, kind, data[pos:])
+    return Frame(codec_id, params, n, kind, view[pos : pos + paylen])
 
 
 def encode_values(values: np.ndarray) -> bytes:
@@ -127,8 +158,10 @@ def encode_values(values: np.ndarray) -> bytes:
     return zlib.compress(deltas.tobytes(), 6)
 
 
-def decode_values(payload: bytes, n: int) -> np.ndarray:
-    """Invert :func:`encode_values`."""
+def decode_values(payload, n: int) -> np.ndarray:
+    """Invert :func:`encode_values` (``payload`` may be any byte buffer)."""
+    if n < 0:
+        raise ValueError(f"corrupt codec frame: negative value count {n}")
     try:
         raw = zlib.decompress(payload)
     except zlib.error as exc:

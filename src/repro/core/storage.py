@@ -301,14 +301,22 @@ class NeaTSStorage:
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "NeaTSStorage":
-        """Rebuild a storage object from :meth:`to_bytes` output."""
+    def from_bytes(cls, data) -> "NeaTSStorage":
+        """Rebuild a storage object from :meth:`to_bytes` output.
+
+        ``data`` may be any byte buffer (``bytes``, ``memoryview``, an mmap
+        slice); the big arrays are adopted zero-copy via ``np.frombuffer``.
+        """
         if data[:8] != _MAGIC:
             raise ValueError("not a NeaTS byte string")
         pos = 8
         n, m, shift, name_len, has_bv = struct.unpack_from("<qqqqB", data, pos)
         pos += struct.calcsize("<qqqqB")
-        names = data[pos : pos + name_len].decode().split(",") if name_len else []
+        names = (
+            bytes(data[pos : pos + name_len]).decode().split(",")
+            if name_len
+            else []
+        )
         pos += name_len
         (m2,) = struct.unpack_from("<q", data, pos)
         pos += 8

@@ -297,8 +297,13 @@ class TieredStore:
         return _MAGIC + struct.pack("<I", zlib.crc32(bytes(body))) + bytes(body)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "TieredStore":
-        """Rebuild a store serialised with :meth:`to_bytes`."""
+    def from_bytes(cls, data) -> "TieredStore":
+        """Rebuild a store serialised with :meth:`to_bytes`.
+
+        ``data`` may be any byte buffer; passing a ``memoryview`` (e.g. over
+        an mmapped shard file) parses the sealed frames zero-copy — they
+        keep referencing the underlying buffer, which must stay alive.
+        """
         from ..baselines.base import Compressed
 
         if len(data) < 20 or data[:8] != _MAGIC:
@@ -309,7 +314,7 @@ class TieredStore:
         (meta_len,) = struct.unpack_from("<q", data, 12)
         pos = 20
         try:
-            meta = json.loads(data[pos : pos + meta_len].decode("utf-8"))
+            meta = json.loads(bytes(data[pos : pos + meta_len]).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ValueError("corrupt TieredStore header") from exc
         pos += meta_len

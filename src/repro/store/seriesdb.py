@@ -29,8 +29,17 @@ hot-block compression out over a process pool via
 >>> int(db2.access("b", 10)), int(db2.count("a"))
 (20, 1000)
 
-Shards load lazily (opening a database touches only the manifest), all
-mutations stay in memory until :meth:`flush`, and every shard write is
+Shards load on demand (opening a database touches only the manifest) and
+sit in a bounded LRU cache: up to ``cache_capacity`` clean open shards are
+kept parsed in memory, so repeated ``access``/``range`` calls on hot
+series skip the load entirely.  Dirty shards (unflushed mutations) are
+pinned — the cache never evicts work — and a cached shard is dropped and
+re-read whenever its manifest generation (the shard filename) changes
+under it.  With ``lazy=True`` shard files are memory-mapped and their
+frames parsed zero-copy off the map (the lazy open path of
+:mod:`repro.codecs.container`) instead of being read and copied.
+
+All mutations stay in memory until :meth:`flush`, and every shard read is
 crc-checked on the way back in — a swapped or bit-rotted shard file
 fails loudly instead of answering queries from the wrong series.
 """
@@ -38,14 +47,16 @@ fails loudly instead of answering queries from the wrong series.
 from __future__ import annotations
 
 import json
-import os
 import re
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
 from ..baselines.base import Compressed
+from ..codecs.container import mmap_view
+from ..codecs.container import write_atomic as _write_atomic
 from ..core.tiered import TieredStore
 from .parallel import compress_many_frames
 
@@ -53,31 +64,9 @@ __all__ = ["SeriesDB"]
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "RPDB0001"
+DEFAULT_CACHE_CAPACITY = 16
 _SHARD_DIR = "shards"
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
-
-
-def _write_atomic(path: Path, blob: bytes) -> None:
-    """Durable atomic write: temp file + fsync + rename + directory fsync.
-
-    Readers never see a torn file, and once the rename is visible the data
-    blocks are on disk — power loss cannot leave a manifest pointing at a
-    zero-length or partial shard.
-    """
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-    try:
-        dir_fd = os.open(path.parent, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platforms without directory fds
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
 
 
 class SeriesDB:
@@ -93,6 +82,16 @@ class SeriesDB:
         Per-shard :class:`TieredStore` configuration, recorded in the
         manifest at creation time.  Codecs must be registry ids (shards
         are persisted).
+    cache_capacity:
+        Maximum number of *clean* open shards kept parsed in the LRU
+        cache (``None`` = unbounded).  Dirty shards are pinned until
+        :meth:`flush` and never count against evictions.  A runtime
+        option — not persisted in the manifest.
+    lazy:
+        When true, shard files are memory-mapped and parsed zero-copy
+        instead of read into a bytes copy.  The map stays referenced by
+        the parsed blocks, so it remains valid even after a later flush
+        replaces the shard file.  Also a runtime option.
     """
 
     def __init__(
@@ -104,9 +103,16 @@ class SeriesDB:
         cold_codec: str = "neats",
         hot_params: dict | None = None,
         cold_params: dict | None = None,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
+        lazy: bool = False,
     ) -> None:
         self._root = Path(root)
-        self._stores: dict[str, TieredStore] = {}
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive (or None)")
+        self._cache_capacity = cache_capacity
+        self._lazy = bool(lazy)
+        self._stores: OrderedDict[str, TieredStore] = OrderedDict()
+        self._cached_gen: dict[str, str] = {}  # shard filename at load time
         self._dirty: set[str] = set()
         manifest_path = self._root / MANIFEST_NAME
         if manifest_path.exists():
@@ -151,12 +157,22 @@ class SeriesDB:
     # -- lifecycle ------------------------------------------------------------
 
     @classmethod
-    def open(cls, root) -> "SeriesDB":
-        """Open an existing database; raises when ``root`` holds none."""
+    def open(
+        cls,
+        root,
+        *,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
+        lazy: bool = False,
+    ) -> "SeriesDB":
+        """Open an existing database; raises when ``root`` holds none.
+
+        ``cache_capacity`` and ``lazy`` are runtime options (see the
+        constructor); the persisted codec configuration always wins.
+        """
         root = Path(root)
         if not (root / MANIFEST_NAME).exists():
             raise ValueError(f"{root}: no SeriesDB manifest found")
-        return cls(root)
+        return cls(root, cache_capacity=cache_capacity, lazy=lazy)
 
     def __enter__(self) -> "SeriesDB":
         return self
@@ -191,6 +207,15 @@ class SeriesDB:
     def digits(self, series_id: str) -> int:
         """Decimal scaling recorded for ``series_id`` at ingest time."""
         return int(self._entry(series_id).get("digits", 0))
+
+    def cache_info(self) -> dict:
+        """Shard-cache occupancy: capacity, open shards, pinned (dirty) ones."""
+        return {
+            "capacity": self._cache_capacity,
+            "cached": len(self._stores),
+            "dirty": len(self._dirty),
+            "lazy": self._lazy,
+        }
 
     def info(self) -> dict:
         """Configuration plus a per-series summary (counts, tiers, shards)."""
@@ -306,6 +331,10 @@ class SeriesDB:
             "buffer_values": 0,
         }
         self._stores[series_id] = store
+        # A brand-new shard exists only in memory: pin it (dirty) so the
+        # LRU cache cannot evict it before the first flush writes its file.
+        self._dirty.add(series_id)
+        self._evict()
         return store
 
     # -- queries --------------------------------------------------------------
@@ -325,10 +354,14 @@ class SeriesDB:
     def store(self, series_id: str) -> TieredStore:
         """The live :class:`TieredStore` shard backing ``series_id``.
 
-        Mutating it directly (e.g. ``consolidate``) is allowed, but call
-        :meth:`mark_dirty` afterwards so :meth:`flush` rewrites the shard.
+        The returned handle is pinned in the shard cache (marked dirty), so
+        mutating it directly (e.g. ``consolidate``) can never be orphaned
+        by an LRU eviction.  The shard is rewritten on the next
+        :meth:`flush` — byte-identically when it was not actually mutated.
         """
-        return self._load(series_id)
+        live = self._load(series_id)
+        self._dirty.add(series_id)
+        return live
 
     def mark_dirty(self, series_id: str) -> None:
         """Flag a shard as modified outside the SeriesDB API."""
@@ -380,6 +413,7 @@ class SeriesDB:
                 entry["shard"] = self._shard_name(sid)
                 replaced.append(old)
             _write_atomic(self._root / entry["shard"], blob)
+            self._cached_gen[sid] = entry["shard"]
             report = store.tier_report()
             entry.update(
                 count=len(store),
@@ -392,6 +426,7 @@ class SeriesDB:
         self._write_manifest()  # the commit point
         for path in replaced:
             path.unlink(missing_ok=True)
+        self._evict()  # flushed shards are clean and evictable again
 
     # -- internals ------------------------------------------------------------
 
@@ -429,9 +464,19 @@ class SeriesDB:
 
     def _load(self, series_id: str) -> TieredStore:
         if series_id in self._stores:
-            return self._stores[series_id]
+            entry = self._entry(series_id)
+            if (
+                series_id in self._dirty
+                or self._cached_gen.get(series_id) == entry["shard"]
+            ):
+                self._stores.move_to_end(series_id)  # LRU touch
+                return self._stores[series_id]
+            # The manifest points at a newer shard generation than the
+            # cached copy was parsed from: invalidate and re-read.
+            del self._stores[series_id]
+            self._cached_gen.pop(series_id, None)
         entry = self._entry(series_id)
-        data = (self._root / entry["shard"]).read_bytes()
+        data = self._read_shard(self._root / entry["shard"])
         # The snapshot's own crc catches bit rot; the manifest crc also
         # catches a shard file swapped with another (valid) one.
         if zlib.crc32(data) != entry["crc32"]:
@@ -446,7 +491,40 @@ class SeriesDB:
                 f"manifest says {entry['count']}"
             )
         self._stores[series_id] = store
+        self._cached_gen[series_id] = entry["shard"]
+        self._evict(protect=series_id)
         return store
+
+    def _read_shard(self, path: Path):
+        """Shard bytes for parsing: an mmapped view when lazy, else a copy.
+
+        The returned view (and everything :meth:`TieredStore.from_bytes`
+        slices out of it) keeps the underlying map alive, so the parsed
+        store stays valid even after the file is later replaced on flush.
+        """
+        if self._lazy:
+            view = mmap_view(path)
+            if view is not None:
+                return view
+        return path.read_bytes()
+
+    def _evict(self, protect: str | None = None) -> None:
+        """Drop least-recently-used *clean* shards beyond the capacity.
+
+        Dirty shards are pinned (flush reads them from the cache), and the
+        shard a caller is about to use (``protect``) is never the victim.
+        """
+        if self._cache_capacity is None:
+            return
+        evictable = [
+            sid
+            for sid in self._stores
+            if sid not in self._dirty and sid != protect
+        ]
+        while len(self._stores) > self._cache_capacity and evictable:
+            sid = evictable.pop(0)
+            del self._stores[sid]
+            self._cached_gen.pop(sid, None)
 
     def _write_manifest(self) -> None:
         manifest = {

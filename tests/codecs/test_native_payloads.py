@@ -1,0 +1,117 @@
+"""Native frame payloads for DAC, LeCo, and ALP.
+
+The contract: these codecs now serialise their own byte layouts
+(``KIND_NATIVE``), loading is a direct parse with **no compressor call**,
+and frames from before the change (the generic values fallback) still load
+and answer identically.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.alp import AlpCompressor
+from repro.baselines.base import Compressed
+from repro.baselines.dac import DacCompressor
+from repro.baselines.leco import LeCoCompressor
+from repro.codecs.serialize import (
+    KIND_NATIVE,
+    KIND_VALUES,
+    encode_values,
+    read_frame,
+    write_frame,
+)
+
+CODECS = {
+    "dac": (DacCompressor, {}),
+    "leco": (LeCoCompressor, {}),
+    "alp": (AlpCompressor, {"digits": 2}),
+}
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(5)
+    y = 700 * np.sin(np.arange(4000) / 90) + np.cumsum(rng.integers(-5, 6, 4000))
+    return y.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def compressed(series):
+    return {
+        cid: repro.compress(series, codec=cid, **params)
+        for cid, (_, params) in CODECS.items()
+    }
+
+
+@pytest.mark.parametrize("cid", sorted(CODECS))
+class TestNativeFrames:
+    def test_emits_native_kind(self, cid, compressed):
+        assert read_frame(compressed[cid].to_bytes()).kind == KIND_NATIVE
+
+    def test_roundtrip_bit_identical(self, cid, series, compressed):
+        frame = compressed[cid].to_bytes()
+        loaded = Compressed.from_bytes(frame)
+        assert loaded.to_bytes() == frame
+        assert np.array_equal(loaded.decompress(), series)
+
+    def test_load_calls_no_compressor(self, cid, compressed, monkeypatch):
+        """A native load must never re-run compression."""
+        cls, _ = CODECS[cid]
+
+        def boom(self, values):
+            raise AssertionError(f"{cid}: native load invoked compress()")
+
+        monkeypatch.setattr(cls, "compress", boom)
+        loaded = Compressed.from_bytes(compressed[cid].to_bytes())
+        assert len(loaded) == len(compressed[cid])
+
+    def test_old_values_fallback_frame_still_loads(self, cid, series, compressed):
+        """Frames written before native payloads existed must keep working,
+        and answer exactly like a native load."""
+        c = compressed[cid]
+        old_frame = write_frame(
+            cid, c.codec_params or {}, len(series), KIND_VALUES,
+            encode_values(series),
+        )
+        old = Compressed.from_bytes(old_frame)
+        new = Compressed.from_bytes(c.to_bytes())
+        assert np.array_equal(old.decompress(), new.decompress())
+        assert old.size_bits() == new.size_bits() == c.size_bits()
+        for k in (0, 1, len(series) // 3, len(series) - 1):
+            assert old.access(k) == new.access(k) == series[k]
+        lo, hi = 500, 3200
+        assert np.array_equal(
+            old.decompress_range(lo, hi), new.decompress_range(lo, hi)
+        )
+
+    def test_truncated_native_payload_raises(self, cid, compressed):
+        frame = read_frame(compressed[cid].to_bytes())
+        chopped = bytes(frame.payload)[:-7]
+        rewrapped = write_frame(
+            cid, frame.params, frame.n, KIND_NATIVE, chopped
+        )
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            Compressed.from_bytes(rewrapped)
+
+
+class TestAlpSpecifics:
+    def test_patches_survive_the_native_frame(self):
+        """Values beyond double precision use the patch table; it must persist."""
+        y = np.array([2**60 + 3, 5, -(2**61) + 7, 123456], dtype=np.int64)
+        c = repro.compress(y, codec="alp", digits=0)
+        assert c._patches  # the guard must have kicked in for this input
+        loaded = Compressed.from_bytes(c.to_bytes())
+        assert loaded._patches == c._patches
+        assert np.array_equal(loaded.decompress(), y)
+        assert loaded.access(0) == y[0]
+
+
+class TestDacSpecifics:
+    def test_single_level_series(self):
+        """Tiny uniform values: one DAC level, no bitmaps."""
+        y = np.ones(100, dtype=np.int64)
+        c = repro.compress(y, codec="dac")
+        loaded = Compressed.from_bytes(c.to_bytes())
+        assert np.array_equal(loaded.decompress(), y)
+        assert loaded.to_bytes() == c.to_bytes()

@@ -1,0 +1,123 @@
+"""Property tests for the zero-copy frame path.
+
+Two invariants, across *every* registered codec:
+
+* parsing a frame from a ``memoryview`` (including a view over an mmapped
+  file, at an arbitrary offset) yields an object identical to the plain
+  bytes path — same values, same answers, bit-identical re-serialisation;
+* for the codecs that gained native payloads (DAC, LeCo, ALP), the native
+  frame and the old values-fallback frame decode to equivalent objects:
+  same ``decompress()``, ``access(k)``, and ``size_bits()``.
+"""
+
+import mmap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.baselines.base import Compressed
+from repro.codecs import available_codecs, codec_spec
+from repro.codecs.serialize import (
+    KIND_VALUES,
+    encode_values,
+    read_frame,
+    write_frame,
+)
+
+SETTINGS = dict(max_examples=20, deadline=None)
+DIGITS = 1
+
+int_series = st.lists(
+    st.integers(-(2**40), 2**40), min_size=1, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+def _params(cid):
+    return {"digits": DIGITS} if codec_spec(cid).needs_digits else {}
+
+
+def _compress(cid, values):
+    return repro.compress(values, codec=cid, **_params(cid))
+
+
+@pytest.mark.parametrize("cid", sorted(
+    c for c in available_codecs() if c not in ("neats", "leats", "sneats")
+))
+@given(values=int_series)
+@settings(**SETTINGS)
+def test_memoryview_load_equals_bytes_load(cid, values):
+    frame = _compress(cid, values).to_bytes()
+    via_bytes = Compressed.from_bytes(frame)
+    via_view = Compressed.from_bytes(memoryview(frame))
+    assert np.array_equal(via_view.decompress(), values)
+    assert np.array_equal(via_bytes.decompress(), via_view.decompress())
+    assert via_view.to_bytes() == frame
+    assert via_view.size_bits() == via_bytes.size_bits()
+
+
+@pytest.mark.parametrize("cid", sorted(available_codecs()))
+def test_mmap_slice_load_equals_bytes_load(cid, tmp_path):
+    """Frames parsed from an mmapped file at an odd offset behave identically
+    (covers the NeaTS family too — one fixed series, compression is slow)."""
+    rng = np.random.default_rng(3)
+    values = (200 * np.sin(np.arange(1200) / 25)
+              + np.cumsum(rng.integers(-2, 3, 1200))).astype(np.int64)
+    frame = _compress(cid, values).to_bytes()
+    path = tmp_path / f"{cid}.bin"
+    prefix = b"x" * 13  # force unaligned word offsets inside the map
+    path.write_bytes(prefix + frame)
+    with open(path, "rb") as fh:
+        mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    view = memoryview(mapped)[len(prefix):]
+    loaded = Compressed.from_bytes(view)
+    assert np.array_equal(loaded.decompress(), values)
+    assert loaded.access(600) == values[600]
+    assert np.array_equal(loaded.decompress_range(37, 1100), values[37:1100])
+    assert loaded.to_bytes() == frame
+
+
+@pytest.mark.parametrize("cid", ["dac", "leco", "alp"])
+@given(values=int_series)
+@settings(**SETTINGS)
+def test_native_frame_equals_values_fallback(cid, values):
+    c = _compress(cid, values)
+    native = Compressed.from_bytes(c.to_bytes())
+    fallback_frame = write_frame(
+        cid, c.codec_params or {}, len(values), KIND_VALUES,
+        encode_values(values),
+    )
+    fallback = Compressed.from_bytes(fallback_frame)
+    assert np.array_equal(native.decompress(), fallback.decompress())
+    assert native.size_bits() == fallback.size_bits()
+    for k in {0, len(values) // 2, len(values) - 1}:
+        assert native.access(k) == fallback.access(k) == values[k]
+
+
+@given(values=int_series)
+@settings(**SETTINGS)
+def test_read_frame_payload_is_a_view(values):
+    """The parsed payload must alias the source buffer, not copy it."""
+    frame = _compress("gorilla", values).to_bytes()
+    parsed = read_frame(memoryview(frame))
+    assert isinstance(parsed.payload, memoryview)
+    assert bytes(parsed.payload) == frame[len(frame) - parsed.payload.nbytes:]
+
+
+def test_read_frame_rejects_negative_n():
+    frame = bytearray(write_frame("gorilla", {}, 1, KIND_VALUES,
+                                  encode_values(np.array([1], dtype=np.int64))))
+    # n sits at offset 12 in the header (<4sBBHIqQ), little-endian int64.
+    frame[12:20] = (-5).to_bytes(8, "little", signed=True)
+    with pytest.raises(ValueError, match="negative value count"):
+        read_frame(bytes(frame))
+
+
+def test_read_frame_rejects_payload_overflow():
+    frame = bytearray(write_frame("gorilla", {}, 1, KIND_VALUES,
+                                  encode_values(np.array([1], dtype=np.int64))))
+    # paylen sits at offset 20, little-endian uint64: claim 2**63 bytes.
+    frame[20:28] = (1 << 63).to_bytes(8, "little")
+    with pytest.raises(ValueError, match="overflows"):
+        read_frame(bytes(frame))
