@@ -1,16 +1,17 @@
 """Table II benchmark: lossy compression — AA vs PLA vs NeaTS-L.
 
-Regenerates the paper's lossy comparison: per dataset, the three approaches
-are timed on compression, and their compression ratios are reported through
-``extra_info`` (the paper's Table II columns).  Run with::
+Regenerates the paper's lossy comparison through the codec registry (the
+ids ``aa``, ``pla``, ``neats_l``, each constructed with the required
+``eps`` bound): per dataset, the three approaches are timed on compression,
+and their compression ratios are reported through ``extra_info`` (the
+paper's Table II columns).  Run with::
 
     pytest benchmarks/bench_table2_lossy.py --benchmark-only
 """
 
 import pytest
 
-from repro.baselines import AaCompressor, PlaCompressor
-from repro.core import NeaTSLossy
+import repro
 
 
 def _eps_for(y):
@@ -22,7 +23,7 @@ class TestTable2Compression:
     def test_aa_compress(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
         eps = _eps_for(y)
-        result = benchmark(lambda: AaCompressor(eps).compress(y))
+        result = benchmark(lambda: repro.compress(y, codec="aa", eps=eps))
         assert result.max_error(y) <= eps + 1e-6
         benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
         benchmark.extra_info["segments"] = result.num_segments
@@ -30,7 +31,7 @@ class TestTable2Compression:
     def test_pla_compress(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
         eps = _eps_for(y)
-        result = benchmark(lambda: PlaCompressor(eps).compress(y))
+        result = benchmark(lambda: repro.compress(y, codec="pla", eps=eps))
         assert result.max_error(y) <= eps + 1e-6
         benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
         benchmark.extra_info["segments"] = result.num_segments
@@ -38,25 +39,37 @@ class TestTable2Compression:
     def test_neats_l_compress(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
         eps = _eps_for(y)
-        result = benchmark(lambda: NeaTSLossy(eps).compress(y))
+        result = benchmark(lambda: repro.compress(y, codec="neats_l", eps=eps))
         assert result.max_error(y) <= eps + 1e-6
         benchmark.extra_info["ratio_pct"] = round(100 * result.compression_ratio(), 2)
-        benchmark.extra_info["fragments"] = len(result.fragments)
+        benchmark.extra_info["fragments"] = result.num_segments
 
 
 @pytest.mark.parametrize("dataset", ["IT"])
 class TestTable2Decompression:
     def test_pla_reconstruct(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
-        series = PlaCompressor(_eps_for(y)).compress(y)
+        series = repro.compress(y, codec="pla", eps=_eps_for(y))
         benchmark(series.reconstruct)
 
     def test_aa_reconstruct(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
-        series = AaCompressor(_eps_for(y)).compress(y)
+        series = repro.compress(y, codec="aa", eps=_eps_for(y))
         benchmark(series.reconstruct)
 
     def test_neats_l_reconstruct(self, benchmark, bench_datasets, dataset):
         y = bench_datasets[dataset]
-        series = NeaTSLossy(_eps_for(y)).compress(y)
+        series = repro.compress(y, codec="neats_l", eps=_eps_for(y))
         benchmark(series.reconstruct)
+
+
+@pytest.mark.parametrize("codec", ["aa", "pla", "neats_l"])
+class TestLossyFrameLoad:
+    def test_native_frame_load(self, benchmark, bench_datasets, codec):
+        """Loading a lossy frame is a direct parse — no re-fitting."""
+        from repro.baselines.base import Compressed
+
+        y = bench_datasets["IT"]
+        frame = repro.compress(y, codec=codec, eps=_eps_for(y)).to_bytes()
+        loaded = benchmark(Compressed.from_bytes, frame)
+        assert loaded.to_bytes() == frame

@@ -15,7 +15,6 @@ from pathlib import Path
 import numpy as np
 
 import repro
-from repro import NeaTSLossy
 
 
 def main() -> None:
@@ -65,11 +64,22 @@ def main() -> None:
               f"{archive.codec_id!r} with {len(archive):,} values")
 
     # --- lossy mode with an error guarantee --------------------------------------
-    lossy = NeaTSLossy(eps=50).compress(values)  # +-0.50 C guarantee
+    # Lossy codecs are registry peers: a required eps bound, the same save/
+    # open path, and native persistence (the archive stores the fitted
+    # segments, so reopening never re-runs the compressor).
+    lossy = repro.compress(values, codec="neats_l", eps=50)  # +-0.50 C guarantee
     print(
         f"lossy ratio at eps=0.5C: {100 * lossy.compression_ratio():.2f}% "
         f"(measured max error {lossy.max_error(values) / 100:.2f} C)"
     )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "approx.rpac"
+        repro.save(path, lossy, digits=2)
+        archive = repro.open(path, lazy=True)
+        assert np.array_equal(archive.decompress(), lossy.decompress())
+        print(f"lossy archive reopened: codec {archive.codec_id!r}, "
+              f"eps {archive.params['eps'] / 100:g} C, "
+              f"{archive.params['segments']} segments")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,17 @@ and a benchmark harness regenerating every table and figure.
 
 All compressors are first-class codecs behind one facade: pick any id from
 :func:`available_codecs` — ``"neats"``, ``"gorilla"``, ``"zstd"``, ... —
-compress, query, and persist through the same API.
+compress, query, and persist through the same API.  That includes the
+paper's *lossy* side (Table II): ``"neats_l"``, ``"pla"``, and ``"aa"``
+register with ``lossy=True`` and a required ``eps`` bound, produce
+:class:`~repro.baselines.base.LossyCompressed` objects guaranteeing
+``|f(x_k) - y_k| <= eps``, and persist natively — a saved lossy archive
+reopens into the identical approximation without re-running the
+compressor::
+
+    lossy = repro.compress(y, codec="pla", eps=0.5)
+    lossy.max_error(y)                         # measured, <= 0.5
+    repro.save("approx.rpac", lossy)           # fitted segments, not values
 
 Quickstart
 ----------
@@ -48,6 +58,7 @@ Lower-level entry points remain available: :class:`NeaTS` for direct use,
 subsystem, ``repro.bench`` for the paper's harness.
 """
 
+from .baselines import Compressed, LossyCompressed
 from .codecs import (
     Archive,
     available_codecs,
@@ -70,7 +81,7 @@ from .core import (
 from .data import dataset_names, load
 from .store import SeriesDB, compress_many, compress_many_frames
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 # NOTE: "open" is deliberately absent from __all__ — `from repro import *`
 # must not shadow the builtin; use repro.open or open_archive explicitly.
@@ -82,6 +93,8 @@ __all__ = [
     "save",
     "open_archive",
     "Archive",
+    "Compressed",
+    "LossyCompressed",
     "available_codecs",
     "codec_spec",
     "get_codec",

@@ -2,7 +2,13 @@
 
 from .aa import AaCompressor, AaSeries
 from .alp import AlpCompressor
-from .base import Compressed, LosslessCompressor
+from .base import (
+    Compressed,
+    LosslessCompressor,
+    LossyCompressed,
+    LossyCompressor,
+    validate_eps,
+)
 from .blockwise import BlockwiseCompressed, BlockwiseCompressor, ByteCompressor
 from .chimp import Chimp128Compressor, ChimpCompressor
 from .dac import DacCompressor
@@ -21,7 +27,10 @@ from .tsxor import TSXorCompressor
 
 __all__ = [
     "Compressed",
+    "LossyCompressed",
     "LosslessCompressor",
+    "LossyCompressor",
+    "validate_eps",
     "BlockwiseCompressor",
     "BlockwiseCompressed",
     "ByteCompressor",

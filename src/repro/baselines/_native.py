@@ -1,19 +1,24 @@
-"""Struct helpers shared by the native frame payloads of DAC, LeCo, and ALP.
+"""Struct helpers shared by the codecs' native frame payloads.
 
-These codecs store their compressed state in the repo's succinct structures
-(:class:`~repro.bits.packed.PackedArray`, :class:`~repro.bits.BitVector`);
-their native payloads serialise those structures by word buffer, so loading
-is a direct O(size) parse — no recompression — and works over any byte
-buffer, including a ``memoryview`` of a memory-mapped archive.
+DAC, LeCo, and ALP store their compressed state in the repo's succinct
+structures (:class:`~repro.bits.packed.PackedArray`,
+:class:`~repro.bits.BitVector`); their native payloads serialise those
+structures by word buffer, so loading is a direct O(size) parse — no
+recompression — and works over any byte buffer, including a ``memoryview``
+of a memory-mapped archive.
+
+The lossy codecs (NeaTS-L, PLA, AA) persist *fitted pieces* instead: a run
+of ``[start, end)`` ranges with their float64 parameters, optionally tagged
+with a model/family name.  The record helpers here serialise one such piece;
+parameters are stored as raw IEEE doubles, so a round-trip reproduces the
+exact approximation bit for bit.
 
 Layouts (little-endian):
 
 * packed array — ``width:u8, length:i64, nwords:i64`` + words;
-* bitvector    — ``length:i64, nwords:i64`` + words.
-
-The word counts are written explicitly (rather than derived from the
-lengths) so a round-trip re-serialises bit-identically to the original
-writer output, whose buffer always carries one trailing partial word.
+* bitvector    — ``length:i64, nwords:i64`` + words;
+* name         — ``len:u8`` + utf-8 bytes;
+* segment      — ``start:i64, end:i64, n_params:u8`` + n_params doubles.
 """
 
 from __future__ import annotations
@@ -30,10 +35,15 @@ __all__ = [
     "pack_bitvector",
     "unpack_bitvector",
     "read_words",
+    "pack_name",
+    "unpack_name",
+    "pack_segment",
+    "unpack_segment",
 ]
 
 _PACKED_HDR = struct.Struct("<Bqq")  # width, length, nwords
 _BV_HDR = struct.Struct("<qq")  # length, nwords
+_SEG_HDR = struct.Struct("<qqB")  # start, end, n_params
 
 
 def read_words(view, pos: int, nwords: int, what: str) -> tuple[np.ndarray, int]:
@@ -75,3 +85,46 @@ def unpack_bitvector(view, pos: int, what: str) -> tuple[BitVector, int]:
                          f"for {length} bits")
     words, pos = read_words(view, pos + _BV_HDR.size, nwords, what)
     return BitVector((words, length)), pos
+
+
+def pack_name(name: str) -> bytes:
+    """Serialise a short identifier (model kind, AA family) as len + utf-8."""
+    raw = name.encode("utf-8")
+    if len(raw) > 255:
+        raise ValueError(f"name too long to serialise: {name!r}")
+    return bytes([len(raw)]) + raw
+
+
+def unpack_name(view, pos: int, what: str) -> tuple[str, int]:
+    """Inverse of :func:`pack_name`, reading at ``pos`` in ``view``."""
+    if pos + 1 > len(view):
+        raise ValueError(f"corrupt {what}: truncated name")
+    nlen = view[pos]
+    pos += 1
+    if pos + nlen > len(view):
+        raise ValueError(f"corrupt {what}: truncated name")
+    return bytes(view[pos : pos + nlen]).decode("utf-8"), pos + nlen
+
+
+def pack_segment(start: int, end: int, params) -> bytes:
+    """Serialise one fitted piece: its range and raw float64 parameters."""
+    params = tuple(float(p) for p in params)
+    if len(params) > 255:
+        raise ValueError(f"too many parameters to serialise: {len(params)}")
+    return _SEG_HDR.pack(start, end, len(params)) + struct.pack(
+        f"<{len(params)}d", *params
+    )
+
+
+def unpack_segment(view, pos: int, what: str) -> tuple[tuple, int]:
+    """Inverse of :func:`pack_segment`: ``(start, end, params), new_pos``."""
+    if pos + _SEG_HDR.size > len(view):
+        raise ValueError(f"corrupt {what}: truncated segment header")
+    start, end, n_params = _SEG_HDR.unpack_from(view, pos)
+    pos += _SEG_HDR.size
+    if not 0 <= start < end:
+        raise ValueError(f"corrupt {what}: bad segment range [{start}, {end})")
+    if pos + 8 * n_params > len(view):
+        raise ValueError(f"corrupt {what}: truncated segment parameters")
+    params = struct.unpack_from(f"<{n_params}d", view, pos)
+    return (start, end, params), pos + 8 * n_params

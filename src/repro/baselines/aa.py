@@ -21,14 +21,18 @@ why AA's MAPE is slightly *better* than NeaTS-L's (§IV-B).
 from __future__ import annotations
 
 import math
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.partition import FRAGMENT_OVERHEAD_BITS, PARAM_BITS
-from ..core.piecewise import mape, max_abs_error
+from ._native import pack_name, pack_segment, unpack_name, unpack_segment
+from .base import LossyCompressed, LossyCompressor
 
 __all__ = ["AaCompressor", "AaSeries", "AaSegment"]
+
+_PAYLOAD_HDR = struct.Struct("<qdI")  # n, eps, n_segments
 
 _FAMILIES = ("linear", "quadratic", "exponential")
 
@@ -99,14 +103,18 @@ def _family_bounds(
     raise ValueError(family)
 
 
-@dataclass
-class AaSeries:
+class AaSeries(LossyCompressed):
     """The AA representation: a list of anchored one-parameter segments."""
 
-    segments: list[AaSegment]
-    n: int
-    eps: float
-    original_bits: int
+    def __init__(
+        self,
+        segments: list[AaSegment],
+        n: int,
+        eps: float,
+    ) -> None:
+        self.segments = segments
+        self._n = int(n)
+        self.eps = float(eps)
 
     def reconstruct(self) -> np.ndarray:
         """Evaluate the approximation at every position."""
@@ -116,37 +124,61 @@ class AaSeries:
             out[seg.start : seg.end] = seg.evaluate(xs)
         return out
 
+    def access(self, k: int) -> float:
+        """The approximated value at 0-based position ``k``."""
+        seg = self._segment_at(self.segments, self._check_position(k))
+        return float(seg.evaluate(np.array([k + 1], dtype=np.float64))[0])
+
     def size_bits(self) -> int:
         """Anchor + θ (two float64) plus metadata per segment."""
         return len(self.segments) * (2 * PARAM_BITS + FRAGMENT_OVERHEAD_BITS) + 64 * 2
-
-    def compression_ratio(self) -> float:
-        """Compressed size / original size."""
-        return self.size_bits() / self.original_bits
-
-    def max_error(self, y: np.ndarray) -> float:
-        """Measured L∞ error against the original values."""
-        return max_abs_error(np.asarray(y, dtype=np.float64), self.reconstruct())
-
-    def mape(self, y: np.ndarray) -> float:
-        """Mean Absolute Percentage Error (§IV-B)."""
-        return mape(np.asarray(y, dtype=np.float64), self.reconstruct())
 
     @property
     def num_segments(self) -> int:
         """Number of fragments."""
         return len(self.segments)
 
+    # -- native frame payload --------------------------------------------------
 
-class AaCompressor:
+    def to_payload(self) -> bytes:
+        """Native layout: header + per-segment family, anchor, and θ."""
+        parts = [_PAYLOAD_HDR.pack(self.n, self.eps, len(self.segments))]
+        for seg in self.segments:
+            parts.append(pack_name(seg.family))
+            parts.append(pack_segment(seg.start, seg.end, (seg.anchor, seg.theta)))
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload) -> "AaSeries":
+        """Rebuild from :meth:`to_payload` output (any byte buffer)."""
+        what = "AA payload"
+        view = payload if isinstance(payload, memoryview) else memoryview(payload)
+        if view.nbytes < _PAYLOAD_HDR.size:
+            raise ValueError(f"corrupt {what}: truncated header")
+        n, eps, n_segs = _PAYLOAD_HDR.unpack_from(view)
+        if n < 1:
+            raise ValueError(f"corrupt {what}: bad value count {n}")
+        pos = _PAYLOAD_HDR.size
+        segments = []
+        expected_start = 0
+        for _ in range(n_segs):
+            family, pos = unpack_name(view, pos, what)
+            if family not in _FAMILIES:
+                raise ValueError(f"corrupt {what}: unknown family {family!r}")
+            (start, end, params), pos = unpack_segment(view, pos, what)
+            if start != expected_start or end > n or len(params) != 2:
+                raise ValueError(f"corrupt {what}: segments do not tile [0, {n})")
+            expected_start = end
+            segments.append(AaSegment(start, end, family, params[0], params[1]))
+        if expected_start != n or pos != view.nbytes:
+            raise ValueError(f"corrupt {what}: segments do not tile [0, {n})")
+        return cls(segments, n, eps)
+
+
+class AaCompressor(LossyCompressor):
     """The Adaptive Approximation heuristic under an L∞ bound ``eps``."""
 
     name = "AA"
-
-    def __init__(self, eps: float) -> None:
-        if eps < 0:
-            raise ValueError("eps must be non-negative")
-        self.eps = float(eps)
 
     def compress(self, values: np.ndarray) -> AaSeries:
         """Greedy adaptive segmentation of an integer series."""
@@ -181,4 +213,4 @@ class AaCompressor:
             theta = last_params[family] if k > start + 1 else 0.0
             segments.append(AaSegment(start, k, family, anchor, theta))
             start = k
-        return AaSeries(segments, n, eps, 64 * n)
+        return AaSeries(segments, n, eps)

@@ -4,6 +4,10 @@ For every dataset the paper picks the smallest ε such that NeaTS-L compresses
 better than lossless NeaTS, expresses it as a percentage of the value range,
 and compares the compression ratio of the three lossy approaches, their MAPE,
 and their compression/decompression speeds.
+
+All compressors are obtained through the codec registry — the same
+``get_codec("neats_l", eps=...)`` path the CLI and the stores use — so the
+harness exercises exactly what a user gets, provenance included.
 """
 
 from __future__ import annotations
@@ -13,12 +17,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines import AaCompressor, PlaCompressor
-from ..core import NeaTS, NeaTSLossy
+from ..codecs import get_codec
 from ..data import DATASETS
 from .render import render_table
 
 __all__ = ["Table2Row", "calibrate_eps", "run_table2", "render_table2"]
+
+#: the paper's three lossy approaches, by registry id
+LOSSY_CODECS = (("AA", "aa"), ("PLA", "pla"), ("NeaTS-L", "neats_l"))
 
 _EPS_FRACTIONS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 6e-2)
 _QUICK_FRACTION = 5e-3
@@ -59,10 +65,10 @@ def calibrate_eps(y: np.ndarray, quick: bool = False) -> float:
     value_range = float(int(y.max()) - int(y.min())) or 1.0
     if quick:
         return max(_QUICK_FRACTION * value_range, 1.0)
-    lossless_ratio = NeaTS().compress(y).compression_ratio()
+    lossless_ratio = get_codec("neats").compress(y).compression_ratio()
     for frac in _EPS_FRACTIONS:
         eps = max(frac * value_range, 1.0)
-        lossy = NeaTSLossy(eps).compress(y)
+        lossy = get_codec("neats_l", eps=eps).compress(y)
         if lossy.compression_ratio() < lossless_ratio:
             return eps
     return max(_EPS_FRACTIONS[-1] * value_range, 1.0)
@@ -83,16 +89,14 @@ def run_table2(
         value_range = float(int(y.max()) - int(y.min())) or 1.0
 
         timings = {}
-        t0 = time.perf_counter()
-        aa = AaCompressor(eps).compress(y)
-        timings["AA_compress"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        pla = PlaCompressor(eps).compress(y)
-        timings["PLA_compress"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        nl = NeaTSLossy(eps).compress(y)
-        timings["NeaTS-L_compress"] = time.perf_counter() - t0
-        for label, series in (("AA", aa), ("PLA", pla), ("NeaTS-L", nl)):
+        by_label = {}
+        for label, cid in LOSSY_CODECS:
+            t0 = time.perf_counter()
+            series = get_codec(cid, eps=eps).compress(y)
+            timings[f"{label}_compress"] = time.perf_counter() - t0
+            by_label[label] = series
+        aa, pla, nl = by_label["AA"], by_label["PLA"], by_label["NeaTS-L"]
+        for label, series in by_label.items():
             t0 = time.perf_counter()
             series.reconstruct()
             timings[f"{label}_decompress"] = time.perf_counter() - t0

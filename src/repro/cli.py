@@ -2,8 +2,10 @@
 
 Usage::
 
+    python -m repro codecs     --json
     python -m repro compress   input.csv  output.rpac --digits 2
     python -m repro compress   input.csv  output.rpac --codec gorilla
+    python -m repro compress   input.csv  output.rpac --codec pla --eps 0.5
     python -m repro decompress output.rpac restored.csv
     python -m repro info       output.rpac
     python -m repro access     output.rpac 12345 --lazy
@@ -19,12 +21,18 @@ The ``db`` family drives a :class:`repro.store.SeriesDB`: a directory of
 per-series tiered-store shards with a JSON manifest, batch-ingested
 through a process pool and recompressed in the background by ``compact``.
 
-Any codec from ``repro.codecs.available_codecs()`` can write an archive; the
-self-describing container records which one, so ``decompress``, ``info`` and
-``access`` need no codec flag.  ``--lazy`` (on ``info``, ``access``, and
-``db query``) memory-maps files and parses them zero-copy instead of reading
-them up front — the cold-query fast path.  Archives produced by older
-versions (magic ``NTSF0001``) remain readable.
+Any codec from ``repro.codecs.available_codecs()`` can write an archive
+(``codecs`` lists them with their capability flags); the self-describing
+container records which one, so ``decompress``, ``info`` and ``access``
+need no codec flag.  Lossy codecs (``neats_l``, ``pla``, ``aa``) require an
+explicit error bound: ``--eps`` is in *original value units* — ``--eps 0.5``
+guarantees every value within ±0.5, whatever the ``--digits`` scaling (the
+codec operates on scaled integers, so the bound is scaled internally).  Any
+other codec constructor param rides along via repeated ``--codec-param
+k=v`` (values parsed as JSON when possible).  ``--lazy`` (on ``info``,
+``access``, and ``db query``) memory-maps files and parses them zero-copy
+instead of reading them up front — the cold-query fast path.  Archives
+produced by older versions (magic ``NTSF0001``) remain readable.
 
 CSV files hold one fixed-precision decimal per line (the paper's dataset
 interchange format); ``--digits`` controls the decimal scaling of §II.
@@ -33,6 +41,7 @@ interchange format); ``--digits`` controls the decimal scaling of §II.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -45,9 +54,23 @@ __all__ = ["main"]
 _NEATS_FAMILY = ("neats", "leats", "sneats")
 
 
+def _parse_param_pairs(pairs: list[str] | None) -> dict:
+    """Parse repeated ``--codec-param k=v`` flags; values decode as JSON."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--codec-param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw  # bare strings stay strings
+    return params
+
+
 def _codec_params(args) -> dict:
     """Translate CLI flags into codec constructor params."""
-    params: dict = {}
+    params: dict = _parse_param_pairs(getattr(args, "codec_param", None))
     if args.codec in _NEATS_FAMILY:
         if args.models:
             params["models"] = tuple(args.models.split(","))
@@ -59,7 +82,24 @@ def _codec_params(args) -> dict:
             f"ignored for codec {args.codec!r}",
             file=sys.stderr,
         )
-    if codec_spec(args.codec).needs_digits:
+    spec = codec_spec(args.codec)
+    if args.eps is not None:
+        if not spec.lossy:
+            print(
+                f"warning: --eps only applies to lossy codecs, ignored for "
+                f"codec {args.codec!r}",
+                file=sys.stderr,
+            )
+        else:
+            # The bound is given in original value units; codecs operate on
+            # the scaled integers, so apply the decimal scaling of §II.
+            params["eps"] = args.eps * 10**args.digits
+    if spec.lossy and "eps" not in params:
+        raise SystemExit(
+            f"codec {args.codec!r} is lossy and requires an error bound: "
+            "pass --eps (in value units)"
+        )
+    if spec.needs_digits:
         params["digits"] = args.digits
     return params
 
@@ -78,7 +118,43 @@ def _cmd_compress(args) -> int:
             f"[{args.codec}]")
     if hasattr(compressed, "num_fragments"):
         line += f", {compressed.num_fragments} fragments"
+    elif hasattr(compressed, "num_segments"):
+        line += f", {compressed.num_segments} segments"
+    if codec_spec(args.codec).lossy:
+        err = compressed.max_error(values) / 10**args.digits
+        line += f", measured max error {err:.{args.digits}f}"
     print(line)
+    return 0
+
+
+def _cmd_codecs(args) -> int:
+    """List every registered codec with its capability flags."""
+    rows = []
+    for cid in available_codecs():
+        spec = codec_spec(cid)
+        rows.append({
+            "id": cid,
+            "name": spec.table_name,
+            "lossy": spec.lossy,
+            "native_random_access": spec.native_random_access,
+            "needs_digits": spec.needs_digits,
+            "native_loader": spec.load_native is not None,
+            "required_params": list(spec.required_params),
+            "description": spec.description,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    flags = ("lossy", "native_random_access", "needs_digits", "native_loader")
+    header = (f"{'id':<10} {'lossy':<6} {'random':<7} {'digits':<7} "
+              f"{'native':<7} {'params':<8} description")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        marks = ["yes" if row[f] else "-" for f in flags]
+        required = ",".join(row["required_params"]) or "-"
+        print(f"{row['id']:<10} {marks[0]:<6} {marks[1]:<7} {marks[2]:<7} "
+              f"{marks[3]:<7} {required:<8} {row['description']}")
     return 0
 
 
@@ -99,6 +175,10 @@ def _cmd_info(args) -> int:
         print(f"codec params:  {shown}")
     print(f"values:        {len(archive):,}")
     print(f"decimal digits: {archive.digits}")
+    if archive.codec_id and codec_spec(archive.codec_id).lossy:
+        eps = archive.params.get("eps")
+        shown = "?" if eps is None else f"{eps / 10**archive.digits:g}"
+        print(f"lossy:         yes (guaranteed max error {shown})")
     print(f"size:          {archive.size_bytes():,} bytes "
           f"({100 * archive.compression_ratio():.2f}% of raw)")
     storage = getattr(compressed, "storage", None)
@@ -142,12 +222,28 @@ def _cmd_db_init(args) -> int:
     if (root / "MANIFEST.json").exists():
         print(f"{root} already holds a SeriesDB", file=sys.stderr)
         return 1
-    db = SeriesDB(
-        root,
-        seal_threshold=args.seal_threshold,
-        hot_codec=args.hot_codec,
-        cold_codec=args.cold_codec,
-    )
+    # --eps / --codec-param configure the cold tier: that is where a strong
+    # (possibly lossy, with --allow-lossy) codec runs during compaction.
+    cold_params = _parse_param_pairs(args.codec_param)
+    if args.eps is not None:
+        cold_params["eps"] = args.eps
+    if codec_spec(args.cold_codec).lossy and "eps" not in cold_params:
+        print(f"cold codec {args.cold_codec!r} is lossy and requires an "
+              "error bound: pass --eps (in stored value units)",
+              file=sys.stderr)
+        return 1
+    try:
+        db = SeriesDB(
+            root,
+            seal_threshold=args.seal_threshold,
+            hot_codec=args.hot_codec,
+            cold_codec=args.cold_codec,
+            cold_params=cold_params,
+            allow_lossy=args.allow_lossy,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     print(f"initialised SeriesDB at {db.root} "
           f"(hot={args.hot_codec}, cold={args.cold_codec}, "
           f"seal_threshold={args.seal_threshold})")
@@ -256,9 +352,19 @@ def _add_db_parsers(sub) -> None:
     p.add_argument("--seal-threshold", type=int, default=4096,
                    help="values per sealed hot block (default: 4096)")
     p.add_argument("--hot-codec", default="gorilla", choices=available_codecs(),
-                   help="ingest-tier codec (default: gorilla)")
+                   help="ingest-tier codec (default: gorilla; never lossy)")
     p.add_argument("--cold-codec", default="neats", choices=available_codecs(),
                    help="compaction-tier codec (default: neats)")
+    p.add_argument("--eps", type=float, default=None,
+                   help="cold-tier error bound in stored value units "
+                        "(required when --cold-codec is lossy)")
+    p.add_argument("--codec-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="extra cold-codec constructor param (repeatable; "
+                        "values parsed as JSON when possible)")
+    p.add_argument("--allow-lossy", action="store_true",
+                   help="opt into a lossy cold tier: compacted history "
+                        "answers within the codec's eps, not exactly")
     p.set_defaults(func=_cmd_db_init)
 
     p = dbsub.add_parser("ingest", help="batch-ingest CSV files, one series each")
@@ -306,6 +412,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p = sub.add_parser("codecs", help="list registered codecs and capabilities")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output for tooling")
+    p.set_defaults(func=_cmd_codecs)
+
     p = sub.add_parser("compress", help="CSV -> compressed archive")
     p.add_argument("input")
     p.add_argument("output")
@@ -313,6 +424,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="codec id from the registry (default: neats)")
     p.add_argument("--digits", type=int, default=0,
                    help="fractional decimal digits of the input values")
+    p.add_argument("--eps", type=float, default=None,
+                   help="lossy codecs: guaranteed max error, in original "
+                        "value units (scaled by --digits internally)")
+    p.add_argument("--codec-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="extra codec constructor param (repeatable; values "
+                        "parsed as JSON when possible)")
     p.add_argument("--models", default=None,
                    help="NeaTS family: comma-separated model kinds "
                         "(default: paper's four)")

@@ -2,8 +2,15 @@
 
 This module is imported lazily by :mod:`repro.codecs.registry` on first
 lookup; importing it registers the paper's full Table III line-up (5
-general-purpose, 8 special-purpose) plus the LeaTS/SNeaTS variants under
-stable string ids.
+general-purpose, 8 special-purpose), the LeaTS/SNeaTS variants, and the
+paper's three error-bounded lossy compressors (Table II: NeaTS-L, PLA, AA)
+under stable string ids.
+
+The lossy codecs register with ``lossy=True`` and a *required* ``eps``
+construction param — an error bound is a contract, so there is no default —
+and with native payload loaders only: a lossy frame stores the fitted
+segments themselves (decompression is approximate, so the generic values
+fallback could never reproduce the object).
 
 The NeaTS family shares one adapter class: since
 :class:`~repro.core.compressor.CompressedSeries` implements the
@@ -16,14 +23,18 @@ from __future__ import annotations
 import numpy as np
 
 from ..baselines import (
+    AaCompressor,
     AlpCompressor,
     Chimp128Compressor,
     ChimpCompressor,
     DacCompressor,
     GorillaCompressor,
     LeCoCompressor,
+    PlaCompressor,
     TSXorCompressor,
 )
+from ..baselines.aa import AaSeries
+from ..baselines.pla import PlaSeries
 from ..baselines.alp import _AlpCompressed
 from ..baselines.base import LosslessCompressor
 from ..baselines.blockwise import BlockwiseCompressed
@@ -40,6 +51,7 @@ from ..baselines.general import (
 from ..baselines.gorilla import _XorBlockCompressed, gorilla_decode
 from ..baselines.tsxor import _TSXorCompressed
 from ..core.compressor import NeaTS, CompressedSeries
+from ..core.lossy import LossySeries, NeaTSLossy
 from .registry import codec_spec, register_codec
 
 __all__ = ["NeaTSCompressor", "LeaTSCompressor", "SNeaTSCompressor"]
@@ -112,6 +124,30 @@ def _load_alp(payload, params: dict) -> _AlpCompressed:
     return _AlpCompressed.from_payload(payload)
 
 
+def _lossy_loader(series_cls):
+    """A native loader for a lossy series class, cross-checked against the
+    frame params (ε and segment count travel in the header, see
+    :meth:`~repro.baselines.base.LossyCompressed.to_bytes`)."""
+
+    def load(payload, params: dict):
+        series = series_cls.from_payload(payload)
+        eps = params.get("eps")
+        if eps is not None and float(eps) != series.eps:
+            raise ValueError(
+                f"corrupt codec frame: header says eps={eps}, "
+                f"payload holds eps={series.eps}"
+            )
+        segments = params.get("segments")
+        if segments is not None and int(segments) != series.num_segments:
+            raise ValueError(
+                f"corrupt codec frame: header says {segments} segments, "
+                f"payload holds {series.num_segments}"
+            )
+        return series
+
+    return load
+
+
 # -- registrations -------------------------------------------------------------
 
 # The NeaTS family: native random access, persisted via the succinct layout.
@@ -136,6 +172,36 @@ register_codec(
     description="SNeaTS: NeaTS with sample-based model selection",
     load_native=_load_neats,
 )(SNeaTSCompressor)
+
+# Error-bounded lossy compressors (Table II).  Construction requires an
+# explicit eps: repro.compress(values, codec="neats_l", eps=0.01).
+register_codec(
+    "neats_l",
+    table_name="NeaTS-L",
+    native_random_access=True,
+    lossy=True,
+    required_params=("eps",),
+    description="NeaTS-L: optimal lossy partitioning under an L-inf bound (§III-B)",
+    load_native=_lossy_loader(LossySeries),
+)(NeaTSLossy)
+register_codec(
+    "pla",
+    table_name="PLA",
+    native_random_access=True,
+    lossy=True,
+    required_params=("eps",),
+    description="Optimal piecewise linear approximation (O'Rourke 1981)",
+    load_native=_lossy_loader(PlaSeries),
+)(PlaCompressor)
+register_codec(
+    "aa",
+    table_name="AA",
+    native_random_access=True,
+    lossy=True,
+    required_params=("eps",),
+    description="Adaptive Approximation: greedy anchored fragments (EDBT 2012)",
+    load_native=_lossy_loader(AaSeries),
+)(AaCompressor)
 
 # Special-purpose baselines.
 register_codec(

@@ -62,6 +62,9 @@ class CodecSpec:
     lossy: bool = False
     #: the codec consumes the dataset's decimal ``digits`` scaling
     needs_digits: bool = False
+    #: construction params that must be passed explicitly (e.g. ``eps`` for
+    #: the lossy codecs — an error bound is a contract, never a default)
+    required_params: tuple = ()
     description: str = ""
     #: parse a native frame payload back into a Compressed (None = values-only)
     load_native: Callable | None = field(default=None, compare=False)
@@ -86,6 +89,7 @@ def register_codec(
     native_random_access: bool = False,
     lossy: bool = False,
     needs_digits: bool = False,
+    required_params: tuple = (),
     description: str = "",
     load_native: Callable | None = None,
     overwrite: bool = False,
@@ -106,6 +110,7 @@ def register_codec(
             native_random_access=native_random_access,
             lossy=lossy,
             needs_digits=needs_digits,
+            required_params=tuple(required_params),
             description=description or (factory.__doc__ or "").strip().split("\n")[0],
             load_native=load_native,
         )
@@ -136,30 +141,63 @@ def available_codecs() -> list[str]:
     return sorted(_REGISTRY)
 
 
+class _RegisteredCodec:
+    """A registry-built compressor wrapped with provenance stamping.
+
+    Wrapping (instead of monkey-patching ``compress`` onto the factory's
+    instance, as earlier versions did) keeps ``__slots__``-bearing and
+    frozen compressor classes usable as codec factories.  Every attribute
+    other than ``compress`` delegates to the wrapped compressor.
+    """
+
+    __slots__ = ("_inner", "_spec", "_params")
+
+    def __init__(self, inner, spec: CodecSpec, params: dict) -> None:
+        self._inner = inner
+        self._spec = spec
+        self._params = params
+
+    @property
+    def spec(self) -> CodecSpec:
+        """The registry entry this compressor was built from."""
+        return self._spec
+
+    def compress(self, values):
+        compressed = self._inner.compress(values)
+        compressed.codec_id = self._spec.codec_id
+        compressed.codec_params = dict(self._params)
+        return compressed
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<registered codec {self._spec.codec_id!r}: {self._inner!r}>"
+
+
 def get_codec(name: str, **params):
     """A fresh compressor for codec ``name``, configured with ``params``.
 
-    The returned compressor's ``compress`` is wrapped so every compressed
-    object it produces records ``codec_id`` and ``codec_params`` — the
-    provenance that :meth:`Compressed.to_bytes` and the archive container
-    embed in their self-describing headers.
+    The returned compressor's ``compress`` stamps every compressed object
+    it produces with ``codec_id`` and ``codec_params`` — the provenance
+    that :meth:`Compressed.to_bytes` and the archive container embed in
+    their self-describing headers.  Params the spec declares as required
+    (e.g. the ``eps`` bound of every lossy codec) must be passed
+    explicitly.
     """
     spec = codec_spec(name)
+    missing = [p for p in spec.required_params if p not in params]
+    if missing:
+        hint = ", ".join(f"{p}=..." for p in missing)
+        raise TypeError(
+            f"codec {name!r} requires explicit construction params: "
+            f"get_codec({name!r}, {hint})"
+        )
     try:
         compressor = spec.factory(**params)
     except TypeError as exc:
         raise TypeError(f"codec {name!r}: {exc}") from exc
-
-    inner = compressor.compress
-
-    def compress_with_provenance(values):
-        compressed = inner(values)
-        compressed.codec_id = spec.codec_id
-        compressed.codec_params = dict(params)
-        return compressed
-
-    compressor.compress = compress_with_provenance
-    return compressor
+    return _RegisteredCodec(compressor, spec, dict(params))
 
 
 def load_compressed(data):
@@ -196,6 +234,12 @@ def load_compressed(data):
                 f"values, header says {frame.n}"
             )
     else:
+        if spec.lossy:
+            raise ValueError(
+                f"codec {frame.codec_id!r} is lossy: a values-fallback frame "
+                "cannot reproduce the approximation (decoded values are not "
+                "the compressor's input); only native frames are valid"
+            )
         values = serialize.decode_values(frame.payload, frame.n)
         compressed = get_codec(frame.codec_id, **frame.params).compress(values)
     # Propagate the header count so len()/compression_ratio() on a freshly

@@ -5,30 +5,46 @@ corrections: ``E = {ε}`` and the edge weight counts only the storage of the
 function parameters, so the shortest path minimises the total space of the
 (lossy) piecewise nonlinear ε-approximation.  The output guarantees
 ``|f(x_k) - y_k| <= ε`` for every point (L∞ bound).
+
+:class:`LossySeries` implements the full
+:class:`~repro.baselines.base.LossyCompressed` protocol, so NeaTS-L output is
+a peer of every lossless codec: it serialises to a native frame (the fitted
+fragments themselves — raw float64 parameters, so a saved archive reproduces
+the exact approximation without re-running the partitioner), answers random
+access in O(log m), and travels through ``repro.save`` / ``repro.open`` /
+``SeriesDB`` like any other compressed series.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import struct
 
 import numpy as np
 
+from ..baselines._native import pack_name, pack_segment, unpack_name, unpack_segment
+from ..baselines.base import LossyCompressed, LossyCompressor, validate_eps
 from .models import DEFAULT_MODELS, get_model
 from .partition import Fragment, PARAM_BITS, FRAGMENT_OVERHEAD_BITS, partition_lossy
-from .piecewise import mape, max_abs_error
 
 __all__ = ["NeaTSLossy", "LossySeries"]
 
+_PAYLOAD_HDR = struct.Struct("<qqdI")  # n, shift, eps, n_fragments
 
-@dataclass
-class LossySeries:
+
+class LossySeries(LossyCompressed):
     """A lossy piecewise-functional representation of a time series."""
 
-    fragments: list[Fragment]
-    n: int
-    shift: int
-    eps: float
-    original_bits: int
+    def __init__(
+        self,
+        fragments: list[Fragment],
+        n: int,
+        shift: int,
+        eps: float,
+    ) -> None:
+        self.fragments = fragments
+        self._n = int(n)
+        self.shift = int(shift)
+        self.eps = float(eps)
 
     def reconstruct(self) -> np.ndarray:
         """Evaluate the approximation at every position (float64)."""
@@ -51,14 +67,7 @@ class LossySeries:
 
     def access(self, k: int) -> float:
         """The approximated value at 0-based position ``k``."""
-        lo, hi = 0, len(self.fragments) - 1
-        while lo < hi:  # binary search over fragment starts
-            mid = (lo + hi + 1) // 2
-            if self.fragments[mid].start <= k:
-                lo = mid
-            else:
-                hi = mid - 1
-        frag = self.fragments[lo]
+        frag = self._segment_at(self.fragments, self._check_position(k))
         model = get_model(frag.model_name)
         return model.evaluate_at(frag.params, k + 1) - self.shift
 
@@ -69,36 +78,72 @@ class LossySeries:
             for f in self.fragments
         ) + 64 * 2
 
-    def compression_ratio(self) -> float:
-        """Compressed size / original size."""
-        return self.size_bits() / self.original_bits
+    @property
+    def num_segments(self) -> int:
+        """Number of fragments in the partition."""
+        return len(self.fragments)
 
-    def max_error(self, y: np.ndarray) -> float:
-        """Measured L∞ error against the original values."""
-        return max_abs_error(np.asarray(y, dtype=np.float64), self.reconstruct())
+    # -- native frame payload --------------------------------------------------
 
-    def mape(self, y: np.ndarray) -> float:
-        """Mean Absolute Percentage Error against the original values (§IV-B)."""
-        return mape(np.asarray(y, dtype=np.float64), self.reconstruct())
+    def to_payload(self) -> bytes:
+        """Native layout: header + per-fragment model name, ε, and parameters."""
+        parts = [_PAYLOAD_HDR.pack(self.n, self.shift, self.eps,
+                                   len(self.fragments))]
+        for frag in self.fragments:
+            parts.append(pack_name(frag.model_name))
+            parts.append(struct.pack("<d", frag.eps))
+            parts.append(pack_segment(frag.start, frag.end, frag.params))
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload) -> "LossySeries":
+        """Rebuild from :meth:`to_payload` output (any byte buffer)."""
+        what = "NeaTS-L payload"
+        view = payload if isinstance(payload, memoryview) else memoryview(payload)
+        if view.nbytes < _PAYLOAD_HDR.size:
+            raise ValueError(f"corrupt {what}: truncated header")
+        n, shift, eps, n_frags = _PAYLOAD_HDR.unpack_from(view)
+        if n < 1:
+            raise ValueError(f"corrupt {what}: bad value count {n}")
+        pos = _PAYLOAD_HDR.size
+        fragments = []
+        expected_start = 0
+        for _ in range(n_frags):
+            name, pos = unpack_name(view, pos, what)
+            get_model(name)  # unknown model kinds fail here, loudly
+            if pos + 8 > view.nbytes:
+                raise ValueError(f"corrupt {what}: truncated fragment bound")
+            (frag_eps,) = struct.unpack_from("<d", view, pos)
+            (start, end, params), pos = unpack_segment(view, pos + 8, what)
+            if start != expected_start or end > n:
+                raise ValueError(
+                    f"corrupt {what}: fragments do not tile [0, {n})"
+                )
+            expected_start = end
+            fragments.append(Fragment(start, end, name, frag_eps, params))
+        if expected_start != n or pos != view.nbytes:
+            raise ValueError(f"corrupt {what}: fragments do not tile [0, {n})")
+        return cls(fragments, n, shift, eps)
 
 
-class NeaTSLossy:
+class NeaTSLossy(LossyCompressor):
     """Lossy error-bounded compressor using nonlinear functional approximations.
 
     Parameters
     ----------
     eps:
-        The L∞ error bound (in original value units).
+        The L∞ error bound (in original value units); positive and finite.
     models:
         The function set ``F``; defaults to the paper's four kinds.
     """
 
+    name = "NeaTS-L"
+    native_random_access = True
+
     def __init__(
         self, eps: float, models: tuple[str, ...] | list[str] = DEFAULT_MODELS
     ) -> None:
-        if eps < 0:
-            raise ValueError("eps must be non-negative")
-        self.eps = float(eps)
+        self.eps = validate_eps(eps)
         self.models = list(models)
         for name in self.models:
             get_model(name)
@@ -111,6 +156,4 @@ class NeaTSLossy:
         shift = int(1 + np.ceil(self.eps) - int(y.min()))
         z = y.astype(np.float64) + shift
         result = partition_lossy(z, list(self.models), self.eps)
-        return LossySeries(
-            result.fragments, len(y), shift, self.eps, 64 * len(y)
-        )
+        return LossySeries(result.fragments, len(y), shift, self.eps)

@@ -9,9 +9,15 @@ the long run".  :class:`TieredStore` is that architecture:
 * appends land in an uncompressed **write buffer**;
 * full buffers are sealed into a **hot tier** with a cheap streaming codec
   (``"gorilla"`` by default — microsecond sealing, weak ratio);
-* :meth:`consolidate` migrates sealed hot blocks into the **cold tier**, one
-  strongly-compressed run (``"neats"`` by default) — the "background"
-  recompression step.
+* :meth:`consolidate` migrates sealed hot blocks into the **cold tier**
+  (``"neats"`` by default) — the "background" recompression step.  With a
+  lossless cold codec the whole tier is re-merged into one run; with a
+  *lossy* cold codec (error-bounded, e.g. ``"neats_l"``) each consolidation
+  appends a **new** cold run covering only the migrated hot values, and
+  existing runs are never decoded and re-approximated — approximating an
+  approximation would compound the error beyond the codec's ε guarantee,
+  so every cold run is always an ε-approximation of the *original* values
+  it holds.
 
 Both tiers take *any* codec from the registry, by id::
 
@@ -92,8 +98,8 @@ class TieredStore:
         self._buffer: list[int] = []
         self._hot: list = []  # sealed Compressed blocks, in order
         self._hot_counts: list[int] = []
-        self._cold = None  # one consolidated Compressed run
-        self._cold_count = 0
+        self._cold: list = []  # consolidated Compressed runs, in order
+        self._cold_counts: list[int] = []
 
     # -- ingestion ------------------------------------------------------------
 
@@ -162,38 +168,67 @@ class TieredStore:
         self._hot_counts.append(len(chunk))
         self._buffer.clear()
 
+    def _cold_is_lossy(self) -> bool:
+        """Whether the cold codec is error-bounded (registry flag wins)."""
+        if self._cold_id is not None:
+            from ..codecs import codec_spec
+
+            return codec_spec(self._cold_id).lossy
+        from ..baselines.base import LossyCompressor
+        from .. import codecs
+
+        # A pre-built instance may be a registry proxy (get_codec output):
+        # its spec knows; otherwise unwrap and check the compressor itself.
+        spec = getattr(self._cold_codec, "spec", None)
+        if isinstance(spec, codecs.CodecSpec):
+            return spec.lossy
+        inner = getattr(self._cold_codec, "_inner", self._cold_codec)
+        return isinstance(inner, LossyCompressor)
+
     def consolidate(self) -> None:
         """Migrate all sealed hot blocks into the cold tier.
 
         This is the paper's "run NeaTS later on (or in the background)"
-        step; it decodes the hot tier once and recompresses everything
-        (including any previous cold data) into a single cold run.
+        step.  A lossless cold codec decodes the hot tier (and any
+        previous cold runs) and recompresses everything into a single
+        run.  A lossy cold codec only ever compresses *exact* values —
+        the decoded hot blocks — into a fresh run appended after the
+        existing ones, so repeated consolidation never re-approximates an
+        approximation and the ε guarantee holds against the originals.
         """
         if not self._hot:
             return
         parts = []
-        if self._cold is not None:
-            parts.append(self._cold.decompress())
+        remerge = bool(self._cold) and not self._cold_is_lossy()
+        if remerge:
+            parts.extend(run.decompress() for run in self._cold)
         parts.extend(block.decompress() for block in self._hot)
         merged = np.concatenate(parts)
-        self._cold = self._cold_codec.compress(merged)
-        self._cold_count = len(merged)
+        run = self._cold_codec.compress(merged)
+        if remerge:
+            self._cold = [run]
+            self._cold_counts = [len(merged)]
+        else:
+            self._cold.append(run)
+            self._cold_counts.append(len(merged))
         self._hot.clear()
         self._hot_counts.clear()
 
     # -- queries ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._cold_count + sum(self._hot_counts) + len(self._buffer)
+        return sum(self._cold_counts) + sum(self._hot_counts) + len(self._buffer)
+
+    def _sealed_blocks(self):
+        """Every compressed block in global order: cold runs, then hot."""
+        yield from zip(self._cold, self._cold_counts)
+        yield from zip(self._hot, self._hot_counts)
 
     def access(self, k: int) -> int:
         """The value at global position ``k``, whatever tier holds it."""
         if not 0 <= k < len(self):
             raise IndexError(k)
-        if k < self._cold_count:
-            return self._cold.access(k)
-        k -= self._cold_count
-        for block, count in zip(self._hot, self._hot_counts):
+        for block, count in self._sealed_blocks():
             if k < count:
                 return block.access(k)
             k -= count
@@ -204,30 +239,21 @@ class TieredStore:
         if not 0 <= lo <= hi <= len(self):
             raise IndexError((lo, hi))
         out = []
-        pos = lo
-        while pos < hi:
-            if pos < self._cold_count:
-                end = min(hi, self._cold_count)
-                out.append(self._cold.decompress_range(pos, end))
-                pos = end
-                continue
-            offset = pos - self._cold_count
-            consumed = 0
-            for block, count in zip(self._hot, self._hot_counts):
-                if offset < consumed + count:
-                    local_lo = offset - consumed
-                    local_hi = min(local_lo + (hi - pos), count)
-                    out.append(block.decompress_range(local_lo, local_hi))
-                    pos += local_hi - local_lo
-                    break
-                consumed += count
-            else:
-                buf_lo = pos - self._cold_count - consumed
-                buf_hi = hi - self._cold_count - consumed
-                out.append(
-                    np.array(self._buffer[buf_lo:buf_hi], dtype=np.int64)
-                )
-                pos = hi
+        pos, offset = lo, 0
+        for block, count in self._sealed_blocks():
+            if pos >= hi:
+                break
+            if pos < offset + count:
+                local_lo = pos - offset
+                local_hi = min(hi - offset, count)
+                out.append(block.decompress_range(local_lo, local_hi))
+                pos = offset + local_hi
+            offset += count
+        if pos < hi:  # tail lives in the write buffer
+            sealed = sum(self._cold_counts) + sum(self._hot_counts)
+            out.append(
+                np.array(self._buffer[pos - sealed : hi - sealed], dtype=np.int64)
+            )
         return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
 
     def decompress(self) -> np.ndarray:
@@ -240,8 +266,7 @@ class TieredStore:
         """Total compressed footprint plus the raw write buffer."""
         total = 64 * len(self._buffer)
         total += sum(block.size_bits() for block in self._hot)
-        if self._cold is not None:
-            total += self._cold.size_bits()
+        total += sum(run.size_bits() for run in self._cold)
         return total
 
     def tier_report(self) -> dict:
@@ -250,7 +275,8 @@ class TieredStore:
             "buffer_values": len(self._buffer),
             "hot_blocks": len(self._hot),
             "hot_values": sum(self._hot_counts),
-            "cold_values": self._cold_count,
+            "cold_runs": len(self._cold),
+            "cold_values": sum(self._cold_counts),
             "hot_codec": self._hot_id,
             "cold_codec": self._cold_id,
             "total_bits": self.size_bits(),
@@ -272,7 +298,7 @@ class TieredStore:
                 "instead of compressor instances"
             )
         frames = [block.to_bytes() for block in self._hot]
-        cold_frame = self._cold.to_bytes() if self._cold is not None else b""
+        cold_frames = [run.to_bytes() for run in self._cold]
         meta = {
             "seal_threshold": self._seal_threshold,
             "hot_codec": self._hot_id,
@@ -280,16 +306,17 @@ class TieredStore:
             "cold_codec": self._cold_id,
             "cold_params": self._cold_params,
             "hot_counts": self._hot_counts,
-            "cold_count": self._cold_count,
+            "cold_counts": self._cold_counts,
             "buffer_len": len(self._buffer),
             "frame_lens": [len(f) for f in frames],
-            "cold_frame_len": len(cold_frame),
+            "cold_frame_lens": [len(f) for f in cold_frames],
         }
         meta_b = json.dumps(meta, sort_keys=True).encode("utf-8")
         body = bytearray(struct.pack("<q", len(meta_b)))
         body += meta_b
         body += np.array(self._buffer, dtype=np.int64).tobytes()
-        body += cold_frame
+        for frame in cold_frames:
+            body += frame
         for frame in frames:
             body += frame
         # Same integrity story as the archive container: crc32 over the body
@@ -335,39 +362,41 @@ class TieredStore:
                 f"corrupt TieredStore snapshot: {len(frame_lens)} hot frames "
                 f"but {len(hot_counts)} hot counts"
             )
+        if "cold_counts" in meta:
+            cold_counts = [int(c) for c in meta["cold_counts"]]
+            cold_frame_lens = list(meta["cold_frame_lens"])
+        else:  # pre-multi-run snapshot: one optional cold run, singular keys
+            cold_counts = [int(meta["cold_count"])] if meta["cold_count"] else []
+            cold_frame_lens = (
+                [meta["cold_frame_len"]] if meta["cold_frame_len"] else []
+            )
+        if len(cold_frame_lens) != len(cold_counts):
+            raise ValueError(
+                f"corrupt TieredStore snapshot: {len(cold_frame_lens)} cold "
+                f"frames but {len(cold_counts)} cold counts"
+            )
         buf_len = int(meta["buffer_len"])
-        cold_count = int(meta["cold_count"])
-        if buf_len < 0 or cold_count < 0 or any(c < 1 for c in hot_counts):
+        if buf_len < 0 or any(c < 1 for c in hot_counts + cold_counts):
             raise ValueError("corrupt TieredStore snapshot: negative tier count")
         buffer = np.frombuffer(data, dtype=np.int64, count=buf_len, offset=pos)
         store._buffer = buffer.tolist()
         pos += 8 * buf_len
-        if meta["cold_frame_len"]:
-            end = pos + meta["cold_frame_len"]
-            store._cold = Compressed.from_bytes(data[pos:end])
-            pos = end
-            if len(store._cold) != cold_count:
-                raise ValueError(
-                    f"corrupt TieredStore snapshot: cold run holds "
-                    f"{len(store._cold)} values, metadata says {cold_count}"
-                )
-        elif cold_count:
-            raise ValueError(
-                f"corrupt TieredStore snapshot: metadata claims {cold_count} "
-                "cold values but no cold frame is present"
-            )
-        store._cold_count = cold_count
-        for frame_len, count in zip(frame_lens, hot_counts):
-            end = pos + frame_len
-            block = Compressed.from_bytes(data[pos:end])
-            if len(block) != count:
-                raise ValueError(
-                    f"corrupt TieredStore snapshot: hot block holds "
-                    f"{len(block)} values, metadata says {count}"
-                )
-            store._hot.append(block)
-            pos = end
+        for what, frames, counts, blocks in (
+            ("cold run", cold_frame_lens, cold_counts, store._cold),
+            ("hot block", frame_lens, hot_counts, store._hot),
+        ):
+            for frame_len, count in zip(frames, counts):
+                end = pos + frame_len
+                block = Compressed.from_bytes(data[pos:end])
+                if len(block) != count:
+                    raise ValueError(
+                        f"corrupt TieredStore snapshot: {what} holds "
+                        f"{len(block)} values, metadata says {count}"
+                    )
+                blocks.append(block)
+                pos = end
         store._hot_counts = hot_counts
+        store._cold_counts = cold_counts
         if pos != len(data):
             raise ValueError("corrupt TieredStore byte string: trailing bytes")
         return store

@@ -82,6 +82,15 @@ class SeriesDB:
         Per-shard :class:`TieredStore` configuration, recorded in the
         manifest at creation time.  Codecs must be registry ids (shards
         are persisted).
+    allow_lossy:
+        Tier codecs are lossless by default: a lossy cold tier silently
+        replacing exact history is a data-loss decision, so it must be
+        opted into explicitly.  With ``allow_lossy=True`` a lossy
+        ``cold_codec`` (e.g. ``"neats_l"`` with ``cold_params={"eps":
+        ...}``) is accepted and recorded in the manifest; queries over
+        compacted ranges then answer within that ε.  The *hot* tier can
+        never be lossy — consolidation decodes it, and re-approximating
+        an approximation would compound the error beyond any bound.
     cache_capacity:
         Maximum number of *clean* open shards kept parsed in the LRU
         cache (``None`` = unbounded).  Dirty shards are pinned until
@@ -103,6 +112,7 @@ class SeriesDB:
         cold_codec: str = "neats",
         hot_params: dict | None = None,
         cold_params: dict | None = None,
+        allow_lossy: bool = False,
         cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
         lazy: bool = False,
     ) -> None:
@@ -132,6 +142,8 @@ class SeriesDB:
                     "cold_params",
                 )
             }
+            # Pre-lossy manifests carry no flag; their codecs are lossless.
+            self._config["allow_lossy"] = bool(manifest.get("allow_lossy", False))
             self._series: dict[str, dict] = dict(manifest["series"])
             self._next_shard = int(manifest["next_shard"])
         else:
@@ -142,17 +154,60 @@ class SeriesDB:
                 )
             if int(seal_threshold) < 1:
                 raise ValueError("seal_threshold must be positive")
+            self._check_tier_codecs(
+                hot_codec, hot_params, cold_codec, cold_params, allow_lossy
+            )
             self._config = {
                 "seal_threshold": int(seal_threshold),
                 "hot_codec": hot_codec,
                 "hot_params": dict(hot_params or {}),
                 "cold_codec": cold_codec,
                 "cold_params": dict(cold_params or {}),
+                "allow_lossy": bool(allow_lossy),
             }
             self._series = {}
             self._next_shard = 0
             (self._root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
             self._write_manifest()
+
+    @staticmethod
+    def _check_tier_codecs(
+        hot_codec: str,
+        hot_params: dict | None,
+        cold_codec: str,
+        cold_params: dict | None,
+        allow_lossy: bool,
+    ) -> None:
+        """Enforce the lossy-tier policy and probe both codec constructions.
+
+        Runs at database creation time, before the manifest is written: an
+        invalid configuration (unknown codec, missing or nonsense ``eps``,
+        bad constructor param) must fail here rather than persist a
+        manifest whose first ingest dies.
+        """
+        from ..codecs import codec_spec, get_codec
+
+        if codec_spec(hot_codec).lossy:
+            raise ValueError(
+                f"hot tier cannot use lossy codec {hot_codec!r}: compaction "
+                "decodes the hot tier, and re-approximating an approximation "
+                "would compound the error beyond any bound"
+            )
+        if codec_spec(cold_codec).lossy and not allow_lossy:
+            raise ValueError(
+                f"cold codec {cold_codec!r} is lossy; pass allow_lossy=True "
+                "to opt into error-bounded (approximate) compacted history"
+            )
+        for label, codec, params in (
+            ("hot", hot_codec, hot_params),
+            ("cold", cold_codec, cold_params),
+        ):
+            try:
+                get_codec(codec, **dict(params or {}))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"invalid {label} tier configuration: {exc}"
+                ) from exc
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,21 +1,45 @@
 """Unit tests for the lossy baselines: PLA and AA."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.baselines import AaCompressor, PlaCompressor
+from repro.baselines import AaCompressor, PlaCompressor, validate_eps
 from repro.baselines.aa import AaSegment, _family_bounds
+from repro.core import NeaTSLossy
+
+
+class TestEpsValidation:
+    """All three lossy constructors share one eps contract: > 0 and finite."""
+
+    @pytest.mark.parametrize("ctor", [PlaCompressor, AaCompressor, NeaTSLossy])
+    @pytest.mark.parametrize(
+        "eps", [0, 0.0, -1.0, math.nan, math.inf, -math.inf, "five", None]
+    )
+    def test_bad_eps_raises_consistently(self, ctor, eps):
+        with pytest.raises(ValueError, match="positive finite error bound"):
+            ctor(eps)
+
+    @pytest.mark.parametrize("ctor", [PlaCompressor, AaCompressor, NeaTSLossy])
+    def test_good_eps_coerced_to_float(self, ctor):
+        assert ctor(3).eps == 3.0
+
+    def test_validate_eps_helper(self):
+        assert validate_eps(1) == 1.0
+        with pytest.raises(ValueError):
+            validate_eps(float("nan"))
 
 
 class TestPla:
-    @pytest.mark.parametrize("eps", [0.0, 5.0, 50.0])
+    @pytest.mark.parametrize("eps", [0.5, 5.0, 50.0])
     def test_error_bound(self, smooth_series, eps):
         series = PlaCompressor(eps).compress(smooth_series)
         assert series.max_error(smooth_series) <= eps + 1e-6
 
     def test_exact_line_one_segment(self):
         y = (4 * np.arange(500) - 17).astype(np.int64)
-        series = PlaCompressor(0.0).compress(y)
+        series = PlaCompressor(1e-9).compress(y)
         assert series.num_segments == 1
 
     def test_more_eps_fewer_segments(self, smooth_series):
@@ -35,6 +59,19 @@ class TestPla:
         series = PlaCompressor(20.0).compress(smooth_series)
         assert series.compression_ratio() > 0
         assert series.mape(smooth_series) >= 0
+
+    def test_access_matches_reconstruct(self, smooth_series, rng):
+        series = PlaCompressor(20.0).compress(smooth_series)
+        recon = series.reconstruct()
+        for k in rng.integers(0, len(smooth_series), 50).tolist():
+            assert series.access(int(k)) == pytest.approx(recon[k])
+        with pytest.raises(IndexError):
+            series.access(len(smooth_series))
+
+    def test_decompress_is_the_approximation(self, smooth_series):
+        series = PlaCompressor(20.0).compress(smooth_series)
+        assert np.array_equal(series.decompress(), series.reconstruct())
+        assert len(series) == len(smooth_series)
 
 
 class TestAaFamilies:
@@ -108,3 +145,11 @@ class TestAaCompressor:
     def test_negative_eps_raises(self):
         with pytest.raises(ValueError):
             AaCompressor(-0.5)
+
+    def test_access_matches_reconstruct(self, smooth_series, rng):
+        series = AaCompressor(30.0).compress(smooth_series)
+        recon = series.reconstruct()
+        for k in rng.integers(0, len(smooth_series), 50).tolist():
+            assert series.access(int(k)) == pytest.approx(recon[k])
+        with pytest.raises(IndexError):
+            series.access(-1)

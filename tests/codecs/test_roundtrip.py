@@ -26,17 +26,24 @@ from repro.codecs import (
 from repro.codecs.container import ARCHIVE_MAGIC
 from repro.codecs.serialize import read_frame
 
-EXPECTED_IDS = {
+LOSSLESS_IDS = {
     "neats", "leats", "sneats",
     "gorilla", "chimp", "chimp128", "tsxor", "dac", "leco", "alp",
     "xz", "zstd", "lz4", "snappy", "brotli",
 }
+LOSSY_IDS = {"neats_l", "pla", "aa"}
+EXPECTED_IDS = LOSSLESS_IDS | LOSSY_IDS
 
 DIGITS = 2
+EPS = 8.0  # error bound handed to the lossy codecs
 
 
 def _params(cid):
-    return {"digits": DIGITS} if codec_spec(cid).needs_digits else {}
+    spec = codec_spec(cid)
+    params = {"digits": DIGITS} if spec.needs_digits else {}
+    if spec.lossy:
+        params["eps"] = EPS
+    return params
 
 
 @pytest.fixture(scope="module")
@@ -65,7 +72,11 @@ class TestRegistry:
         assert codec_spec("dac").native_random_access
         assert not codec_spec("gorilla").native_random_access
         assert codec_spec("alp").needs_digits
-        assert not any(codec_spec(c).lossy for c in available_codecs())
+        assert {c for c in available_codecs() if codec_spec(c).lossy} == LOSSY_IDS
+        for cid in LOSSY_IDS:
+            assert codec_spec(cid).required_params == ("eps",)
+            assert codec_spec(cid).load_native is not None
+        assert not any(codec_spec(c).lossy for c in LOSSLESS_IDS)
 
     def test_unknown_codec_raises(self):
         with pytest.raises(ValueError, match="unknown codec"):
@@ -98,9 +109,48 @@ class TestRegistry:
             assert c.codec_id == cid
             assert c.codec_params == _params(cid)
 
+    def test_slotted_compressor_usable_as_factory(self, series):
+        """get_codec wraps instead of monkey-patching the instance, so
+        __slots__-bearing (or frozen) compressor classes work as factories."""
+        from repro.baselines.gorilla import GorillaCompressor
+
+        class _Slotted:
+            __slots__ = ("block_size",)
+            name = "slotted"
+
+            def __init__(self, block_size=64):
+                self.block_size = block_size
+
+            def compress(self, values):
+                return GorillaCompressor(self.block_size).compress(values)
+
+        register_codec("slotted", description="slots test")(_Slotted)
+        try:
+            comp = get_codec("slotted", block_size=128)
+            c = comp.compress(series)
+            assert c.codec_id == "slotted"
+            assert c.codec_params == {"block_size": 128}
+            # attribute access delegates to the wrapped compressor
+            assert comp.name == "slotted" and comp.block_size == 128
+            assert np.array_equal(
+                Compressed.from_bytes(c.to_bytes()).decompress(), series
+            )
+        finally:
+            unregister_codec("slotted")
+
 
 @pytest.mark.parametrize("cid", sorted(EXPECTED_IDS))
 class TestFrameRoundTrip:
+    def test_frame_is_self_describing(self, cid, compressed_by_codec):
+        frame = read_frame(compressed_by_codec[cid].to_bytes())
+        assert frame.codec_id == cid
+        assert frame.n == 1500
+
+
+# Bit-exactness is the *lossless* contract; the lossy equivalents (identical
+# approximation, preserved eps) live in tests/codecs/test_lossy_codecs.py.
+@pytest.mark.parametrize("cid", sorted(LOSSLESS_IDS))
+class TestLosslessFrameRoundTrip:
     def test_preserves_queries_and_size(self, cid, series, compressed_by_codec):
         c = compressed_by_codec[cid]
         d = Compressed.from_bytes(c.to_bytes())
@@ -110,11 +160,6 @@ class TestFrameRoundTrip:
             assert d.access(k) == c.access(k) == series[k]
         lo, hi = 400, 1200
         assert np.array_equal(d.decompress_range(lo, hi), series[lo:hi])
-
-    def test_frame_is_self_describing(self, cid, compressed_by_codec):
-        frame = read_frame(compressed_by_codec[cid].to_bytes())
-        assert frame.codec_id == cid
-        assert frame.n == 1500
 
     def test_archive_roundtrip(self, cid, series, compressed_by_codec, tmp_path):
         path = tmp_path / f"{cid}.rpac"

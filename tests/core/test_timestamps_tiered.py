@@ -262,7 +262,7 @@ class TestSnapshotMetadataValidation:
 
     def test_cold_count_disagreement_raises(self, snapshot):
         def bump(meta):
-            meta["cold_count"] += 1
+            meta["cold_counts"][0] += 1
 
         with pytest.raises(ValueError, match="metadata says"):
             TieredStore.from_bytes(_tamper_meta(snapshot, bump))
@@ -272,10 +272,25 @@ class TestSnapshotMetadataValidation:
         store.extend(np.arange(150, dtype=np.int64))
 
         def fake_cold(meta):
-            meta["cold_count"] = 5
+            meta["cold_counts"] = [5]
 
-        with pytest.raises(ValueError, match="no cold frame"):
+        with pytest.raises(ValueError, match="cold frames but"):
             TieredStore.from_bytes(_tamper_meta(store.to_bytes(), fake_cold))
+
+    def test_legacy_single_cold_run_snapshot_loads(self, snapshot):
+        """Snapshots from before multi-run cold tiers (singular cold_count /
+        cold_frame_len keys) must keep loading identically."""
+
+        def to_legacy(meta):
+            counts = meta.pop("cold_counts")
+            lens = meta.pop("cold_frame_lens")
+            meta["cold_count"] = counts[0] if counts else 0
+            meta["cold_frame_len"] = lens[0] if lens else 0
+
+        modern = TieredStore.from_bytes(snapshot)
+        legacy = TieredStore.from_bytes(_tamper_meta(snapshot, to_legacy))
+        assert np.array_equal(legacy.decompress(), modern.decompress())
+        assert legacy.tier_report() == modern.tier_report()
 
     def test_negative_counts_raise(self, snapshot):
         def negate(meta):

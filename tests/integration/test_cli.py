@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -74,6 +76,77 @@ class TestInfoAccess:
         bad.write_bytes(b"garbage bytes here")
         with pytest.raises(ValueError):
             main(["info", str(bad)])
+
+
+class TestCodecsCommand:
+    def test_lists_every_codec_with_flags(self, capsys):
+        from repro.codecs import available_codecs
+
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        for cid in available_codecs():
+            assert cid in out
+        assert "lossy" in out and "eps" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["codecs", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_id = {row["id"]: row for row in rows}
+        assert by_id["pla"]["lossy"] and by_id["pla"]["required_params"] == ["eps"]
+        assert by_id["neats_l"]["native_random_access"]
+        assert not by_id["gorilla"]["lossy"]
+        assert by_id["alp"]["needs_digits"]
+        assert all(row["native_loader"] for row in rows)
+
+
+class TestLossyCompress:
+    def test_compress_info_access_with_eps(self, csv_file, tmp_path, capsys):
+        path, values = csv_file
+        archive = tmp_path / "out.rpac"
+        # --eps is in original value units; --digits 2 scales it by 100.
+        assert main(["compress", str(path), str(archive),
+                     "--codec", "pla", "--eps", "0.25", "--digits", "2"]) == 0
+        assert "segments" in capsys.readouterr().out
+        assert main(["info", str(archive), "--lazy"]) == 0
+        out = capsys.readouterr().out
+        assert "pla" in out and "lossy" in out and "0.25" in out
+        assert main(["access", str(archive), "0", "400", "--lazy"]) == 0
+        shown = capsys.readouterr().out
+        for k in (0, 400):
+            printed = float(shown.splitlines()[0 if k == 0 else 1].split()[1])
+            assert abs(printed - values[k] / 100) <= 0.25 + 1e-9
+
+    def test_decompress_writes_the_approximation(self, csv_file, tmp_path):
+        path, values = csv_file
+        archive = tmp_path / "out.rpac"
+        restored = tmp_path / "restored.csv"
+        assert main(["compress", str(path), str(archive),
+                     "--codec", "aa", "--eps", "0.5", "--digits", "2"]) == 0
+        assert main(["decompress", str(archive), str(restored)]) == 0
+        got = read_csv(restored, 2)
+        assert np.max(np.abs(got - values)) <= 50 + 1  # eps*100 + csv rounding
+
+    def test_lossy_codec_without_eps_exits(self, csv_file, tmp_path):
+        path, _ = csv_file
+        with pytest.raises(SystemExit):
+            main(["compress", str(path), str(tmp_path / "x.rpac"),
+                  "--codec", "neats_l", "--digits", "2"])
+
+    def test_codec_param_passthrough(self, csv_file, tmp_path, capsys):
+        path, _ = csv_file
+        archive = tmp_path / "out.rpac"
+        assert main(["compress", str(path), str(archive), "--codec", "neats_l",
+                     "--eps", "0.5", "--digits", "2",
+                     "--codec-param", 'models=["linear"]']) == 0
+        capsys.readouterr()
+        assert main(["info", str(archive)]) == 0
+        assert "models=['linear']" in capsys.readouterr().out
+
+    def test_bad_codec_param_exits(self, csv_file, tmp_path):
+        path, _ = csv_file
+        with pytest.raises(SystemExit):
+            main(["compress", str(path), str(tmp_path / "x.rpac"),
+                  "--codec", "pla", "--eps", "1", "--codec-param", "notkv"])
 
 
 class TestGenerate:
@@ -157,6 +230,31 @@ class TestDbFamily:
     def test_series_names_count_mismatch(self, db_root, tmp_path):
         assert main(["db", "ingest", str(db_root), str(tmp_path / "a.csv"),
                      "--series", "x,y"]) == 1
+
+    def test_lossy_cold_codec_needs_allow_lossy(self, tmp_path, capsys):
+        root = tmp_path / "lossydb"
+        assert main(["db", "init", str(root), "--cold-codec", "pla",
+                     "--eps", "2"]) == 1
+        assert "allow_lossy" in capsys.readouterr().err
+        assert main(["db", "init", str(root), "--cold-codec", "pla"]) == 1
+        assert "--eps" in capsys.readouterr().err
+        assert main(["db", "init", str(root), "--cold-codec", "pla",
+                     "--eps", "2", "--allow-lossy",
+                     "--seal-threshold", "128"]) == 0
+
+    def test_lossy_cold_compact_answers_within_eps(self, tmp_path, capsys):
+        values = np.cumsum(np.ones(600, dtype=np.int64) * 3)
+        write_csv(tmp_path / "s.csv", values, digits=0)
+        root = tmp_path / "lossydb"
+        assert main(["db", "init", str(root), "--cold-codec", "pla",
+                     "--eps", "2", "--allow-lossy",
+                     "--seal-threshold", "128"]) == 0
+        assert main(["db", "ingest", str(root), str(tmp_path / "s.csv")]) == 0
+        assert main(["db", "compact", str(root)]) == 0
+        capsys.readouterr()
+        assert main(["db", "query", str(root), "s", "--at", "100"]) == 0
+        printed = float(capsys.readouterr().out.split()[1])
+        assert abs(printed - values[100]) <= 2 + 1e-9
 
     def test_duplicate_stems_rejected(self, db_root, tmp_path, capsys):
         (tmp_path / "d1").mkdir()
