@@ -44,6 +44,19 @@ archive and parses it zero-copy on first touch — every codec loads its
 native byte layout directly off the map, no recompression, crc checked on
 first decode.
 
+Streaming ingest: :func:`append_open` opens (or creates) an *appendable*
+archive — every ``append(values)`` compresses only the new chunk and lands
+it as one fsync'd tail record, O(new values) however large the sealed
+history, and ``seal()`` compacts the records into a one-shot archive.
+``repro.open`` reads appendable archives transparently (eager or lazy,
+with per-record crc checks), and a tail record torn by a crash is detected
+and skipped with every sealed record intact::
+
+    log = repro.append_open("ingest.rpal", codec="gorilla")
+    log.append(batch); log.append(more)        # durable on return
+    repro.open("ingest.rpal").decompress()     # one logical series
+    log.seal()                                 # compact to RPAC0001
+
 Many series at once: :func:`compress_many` fans compression out over a
 process pool, and :class:`SeriesDB` is a durable shard-per-series store
 (one tiered-store shard per series id, pooled batch ingest, background
@@ -60,7 +73,9 @@ subsystem, ``repro.bench`` for the paper's harness.
 
 from .baselines import Compressed, LossyCompressed
 from .codecs import (
+    AppendableArchive,
     Archive,
+    append_open,
     available_codecs,
     codec_spec,
     compress,
@@ -92,7 +107,9 @@ __all__ = [
     "SeriesDB",
     "save",
     "open_archive",
+    "append_open",
     "Archive",
+    "AppendableArchive",
     "Compressed",
     "LossyCompressed",
     "available_codecs",

@@ -9,6 +9,8 @@ Usage::
     python -m repro decompress output.rpac restored.csv
     python -m repro info       output.rpac
     python -m repro access     output.rpac 12345 --lazy
+    python -m repro append     stream.rpal batch1.csv --codec gorilla
+    python -m repro append     stream.rpal batch2.csv --seal
     python -m repro generate   IT out.csv --n 10000
 
     python -m repro db init    dbdir --hot-codec gorilla --cold-codec neats
@@ -33,6 +35,14 @@ k=v`` (values parsed as JSON when possible).  ``--lazy`` (on ``info``,
 ``access``, and ``db query``) memory-maps files and parses them zero-copy
 instead of reading them up front — the cold-query fast path.  Archives
 produced by older versions (magic ``NTSF0001``) remain readable.
+
+``append`` drives the streaming ingest path: it creates an *appendable*
+archive (magic ``RPAL0001``) when missing and otherwise appends one
+fsync'd record holding only the new values — O(new values) however large
+the file.  ``info``, ``access``, and ``decompress`` read appendable
+archives transparently (the records form one logical series), and
+``append --seal`` compacts the record sequence into a one-shot
+``RPAC0001`` archive.
 
 CSV files hold one fixed-precision decimal per line (the paper's dataset
 interchange format); ``--digits`` controls the decimal scaling of §II.
@@ -173,14 +183,23 @@ def _cmd_info(args) -> int:
     if archive.params:
         shown = ", ".join(f"{k}={v}" for k, v in sorted(archive.params.items()))
         print(f"codec params:  {shown}")
+    runs = getattr(compressed, "num_runs", None)
+    if runs is not None:
+        print(f"append runs:   {runs} (appendable archive)")
+        if compressed.truncated_bytes:
+            print(f"torn tail:     {compressed.truncated_bytes:,} bytes of a "
+                  "crash-truncated record ignored")
     print(f"values:        {len(archive):,}")
     print(f"decimal digits: {archive.digits}")
     if archive.codec_id and codec_spec(archive.codec_id).lossy:
         eps = archive.params.get("eps")
         shown = "?" if eps is None else f"{eps / 10**archive.digits:g}"
         print(f"lossy:         yes (guaranteed max error {shown})")
-    print(f"size:          {archive.size_bytes():,} bytes "
-          f"({100 * archive.compression_ratio():.2f}% of raw)")
+    if len(archive):
+        print(f"size:          {archive.size_bytes():,} bytes "
+              f"({100 * archive.compression_ratio():.2f}% of raw)")
+    else:
+        print("size:          0 bytes (no records appended yet)")
     storage = getattr(compressed, "storage", None)
     if storage is not None:
         print(f"fragments:     {storage.m:,}")
@@ -200,6 +219,33 @@ def _cmd_access(args) -> int:
             return 1
         value = archive.access(k)
         print(f"[{k}] {value / 10**archive.digits:.{archive.digits}f}")
+    return 0
+
+
+def _cmd_append(args) -> int:
+    from .codecs.container import append_open
+
+    params = _parse_param_pairs(args.codec_param)
+    path = Path(args.archive)
+    creating = not path.exists()
+    try:
+        archive = append_open(path, codec=args.codec, digits=args.digits,
+                              **params)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    values = read_csv(args.input, archive.digits)
+    t0 = time.perf_counter()
+    total = archive.append(values)
+    elapsed = time.perf_counter() - t0
+    verb = "created" if creating else "appended to"
+    print(f"{verb} {path}: +{len(values):,} values -> {total:,} total "
+          f"in {archive.num_records} record(s) [{archive.codec_id}] "
+          f"({1e3 * elapsed:.1f} ms)")
+    if args.seal:
+        target = archive.seal()
+        print(f"sealed {target} into a one-shot archive "
+              f"({target.stat().st_size:,} bytes)")
     return 0
 
 
@@ -455,6 +501,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--lazy", action="store_true",
                    help="mmap the archive; crc is checked on first decode")
     p.set_defaults(func=_cmd_access)
+
+    p = sub.add_parser("append",
+                       help="append CSV values to an appendable archive")
+    p.add_argument("archive", help="RPAL0001 archive (created when missing)")
+    p.add_argument("input")
+    p.add_argument("--codec", default=None, choices=available_codecs(),
+                   help="codec when creating (default: gorilla); must match "
+                        "the recorded codec when appending")
+    p.add_argument("--digits", type=int, default=None,
+                   help="fractional decimal digits when creating (default: 0; "
+                        "appends reuse the recorded scaling)")
+    p.add_argument("--codec-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="codec constructor params when creating (repeatable; "
+                        "values parsed as JSON when possible)")
+    p.add_argument("--seal", action="store_true",
+                   help="compact the records into a one-shot RPAC archive "
+                        "after appending")
+    p.set_defaults(func=_cmd_append)
 
     p = sub.add_parser("generate", help="emit a synthetic dataset as CSV")
     p.add_argument("dataset", choices=list(DATASETS))

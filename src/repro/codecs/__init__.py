@@ -25,7 +25,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .container import ARCHIVE_MAGIC, LEGACY_MAGIC, Archive, open_archive, save
+from .container import (
+    APPEND_MAGIC,
+    ARCHIVE_MAGIC,
+    LEGACY_MAGIC,
+    AppendableArchive,
+    Archive,
+    append_open,
+    open_archive,
+    save,
+)
 from .registry import (
     CodecSpec,
     available_codecs,
@@ -46,9 +55,12 @@ __all__ = [
     "load_compressed",
     "CodecSpec",
     "Archive",
+    "AppendableArchive",
     "save",
     "open_archive",
+    "append_open",
     "ARCHIVE_MAGIC",
+    "APPEND_MAGIC",
     "LEGACY_MAGIC",
 ]
 

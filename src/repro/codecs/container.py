@@ -31,6 +31,30 @@ Two open modes exist:
 SeriesDB shard-flush discipline: a crash mid-save leaves either the old
 archive or the new one, never a truncated file.
 
+The streaming-ingest counterpart is the **appendable archive** (magic
+``RPAL0001``): a header naming the codec, followed by a sequence of
+self-describing, individually crc'd frame records::
+
+    +----------+--------+----------+--------+
+    | RPAL0001 | digits | codec id | params |                    (header)
+    +----------+--------+----------+--------+
+    | frame len | crc32 | cumulative count | codec frame |       (record 0)
+    | frame len | crc32 | cumulative count | codec frame |       (record 1)
+    | ...
+
+:class:`AppendableArchive` (or the :func:`append_open` facade) writes it:
+each ``append(values)`` compresses *only* the new chunk and does one
+fsync'd tail write — O(new values), no rewrite of sealed history, which is
+what the paper's §IV-C1 streaming pipeline needs.  :func:`open_archive`
+auto-detects the magic in both modes and exposes the record sequence as
+one multi-run :class:`Compressed` view (binary search over the cumulative
+counts).  Because each record carries its own crc, a lazy open verifies a
+record on the first decode of *that* record only; and because appends are
+strictly tail writes, a crash mid-append can only tear the final record —
+openers detect the torn tail, ignore it, and keep every sealed record,
+while the next writer truncates it away.  ``seal()`` compacts the record
+sequence into a one-shot ``RPAC0001`` archive (one recompressed frame).
+
 Archives written by the seed CLI (magic ``NTSF0001``, NeaTS-only) remain
 readable in both modes: the container transparently upgrades them to a
 :class:`~repro.core.compressor.CompressedSeries` tagged as ``neats``.
@@ -38,6 +62,7 @@ readable in both modes: the container transparently upgrades them to a
 
 from __future__ import annotations
 
+import json
 import mmap
 import os
 import struct
@@ -48,22 +73,28 @@ import numpy as np
 
 from ..baselines.base import Compressed
 from . import serialize
-from .registry import load_compressed
+from .registry import codec_spec, get_codec, load_compressed
 
 __all__ = [
     "ARCHIVE_MAGIC",
+    "APPEND_MAGIC",
     "LEGACY_MAGIC",
     "Archive",
+    "AppendableArchive",
     "save",
     "open_archive",
+    "append_open",
     "write_atomic",
     "mmap_view",
 ]
 
 ARCHIVE_MAGIC = b"RPAC0001"
+APPEND_MAGIC = b"RPAL0001"
 LEGACY_MAGIC = b"NTSF0001"
 
 _HEADER = struct.Struct("<8siIQ")  # magic, digits, crc32(frame), frame length
+_APPEND_HEADER = struct.Struct("<8siHI")  # magic, digits, codec id len, params len
+_RECORD = struct.Struct("<QIQ")  # frame length, crc32(frame), cumulative count
 
 
 def write_atomic(path, blob: bytes) -> None:
@@ -230,17 +261,27 @@ class _LazyArchive(Archive):
         return len(self._compressed)
 
 
-def save(path, compressed: Compressed, digits: int = 0) -> int:
+def save(path, compressed: Compressed, digits: int | None = None) -> int:
     """Write ``compressed`` to ``path`` as a self-describing archive.
 
     Returns the number of bytes written.  Accepts any object implementing
     the :class:`Compressed` serialisation protocol (or an :class:`Archive`,
     unwrapped transparently).  The write is atomic: the archive appears
     under ``path`` complete and fsynced, or not at all.
+
+    ``digits`` defaults to ``None``, meaning "keep the archive's recorded
+    scaling" when saving an :class:`Archive` and 0 otherwise — so an
+    explicit ``digits=0`` really *sets* zero, it is not mistaken for
+    "unspecified".  Saving a lazily-opened archive verifies its checksum
+    first: re-serialising signs the frame with a fresh crc32, and signing
+    unverified bytes would launder corruption into a valid-looking file.
     """
     if isinstance(compressed, Archive):
-        digits = digits or compressed.digits
+        if digits is None:
+            digits = compressed.digits
+        compressed._verify()
         compressed = compressed.compressed
+    digits = 0 if digits is None else int(digits)
     frame = compressed.to_bytes()
     blob = _HEADER.pack(ARCHIVE_MAGIC, digits, zlib.crc32(frame), len(frame)) + frame
     write_atomic(path, blob)
@@ -262,6 +303,8 @@ def open_archive(path, *, lazy: bool = False) -> Archive:
     data = path.read_bytes()
     if len(data) >= 8 and data[:8] == LEGACY_MAGIC:
         return _open_legacy(path, data)
+    if len(data) >= 8 and data[:8] == APPEND_MAGIC:
+        return _open_append(path, data, lazy=False)
     if len(data) < _HEADER.size:
         raise ValueError(f"{path}: not a repro archive (file too short)")
     magic, digits, crc, frame_len = _HEADER.unpack_from(data)
@@ -296,6 +339,10 @@ def _open_lazy(path: Path) -> Archive:
         # The legacy format has no frame/crc to defer; parse it straight off
         # the map (zero-copy: NeaTSStorage adopts the mapped arrays).
         return _open_legacy(path, view)
+    if view.nbytes >= 8 and view[:8] == APPEND_MAGIC:
+        # Record headers parse zero-copy off the map; each record's frame
+        # is crc-checked and decoded on its own first touch.
+        return _open_append(path, view, lazy=True)
     if view.nbytes < _HEADER.size:
         raise ValueError(f"{path}: not a repro archive (file too short)")
     magic, digits, crc, frame_len = _HEADER.unpack_from(view)
@@ -316,6 +363,380 @@ def _open_lazy(path: Path) -> Archive:
         frame_view=frame_view,
         frame=frame,
         crc=crc,
+    )
+
+
+# -- the appendable multi-frame container (RPAL0001) ---------------------------
+
+
+def _scan_append(buf, path):
+    """Parse an ``RPAL0001`` buffer: header plus every *complete* record.
+
+    Returns ``(digits, codec_id, params, records, end)`` where ``records``
+    is a list of ``(frame start, frame length, crc32, cumulative count)``
+    and ``end`` is the offset just past the last complete record.  Bytes
+    beyond ``end`` are a tail torn by an interrupted append: appends are
+    strictly ordered fsync'd tail writes, so only the final record can be
+    incomplete — it is ignored here and truncated by the next writer.
+    Structural damage inside the header (not appendable, bad params)
+    raises; a torn tail never does.
+    """
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if view.nbytes < _APPEND_HEADER.size:
+        raise ValueError(f"{path}: truncated appendable archive header")
+    magic, digits, idlen, plen = _APPEND_HEADER.unpack_from(view)
+    if magic != APPEND_MAGIC:
+        raise ValueError(f"{path}: not an appendable archive (bad magic)")
+    pos = _APPEND_HEADER.size
+    if view.nbytes < pos + idlen + plen:
+        raise ValueError(f"{path}: truncated appendable archive header")
+    codec_id = bytes(view[pos : pos + idlen]).decode("utf-8")
+    try:
+        params = json.loads(bytes(view[pos + idlen : pos + idlen + plen]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt appendable archive params") from exc
+    if not isinstance(params, dict):
+        raise ValueError(f"{path}: corrupt appendable archive params")
+    pos += idlen + plen
+    records, total, end = [], 0, pos
+    while view.nbytes - pos >= _RECORD.size:
+        frame_len, crc, cum = _RECORD.unpack_from(view, pos)
+        start = pos + _RECORD.size
+        if start + frame_len > view.nbytes or cum <= total:
+            break  # torn tail: the record header never finished landing
+        try:
+            span = serialize.frame_span(view[start : start + frame_len])
+        except ValueError:
+            break  # frame header torn mid-write
+        if span != frame_len:
+            break
+        records.append((start, frame_len, crc, cum))
+        total = cum
+        pos = end = start + frame_len
+    return digits, codec_id, params, records, end
+
+
+class _AppendRun:
+    """One record of an appendable archive: a frame slice plus its crc."""
+
+    __slots__ = ("frame", "crc", "count", "compressed", "verified")
+
+    def __init__(self, frame, crc: int, count: int) -> None:
+        self.frame = frame
+        self.crc = crc
+        self.count = count
+        self.compressed: Compressed | None = None
+        self.verified = False
+
+
+class _MultiRunCompressed(Compressed):
+    """The record sequence of an appendable archive as one ``Compressed``.
+
+    ``access``/``decompress_range`` binary-search the cumulative counts
+    (the :class:`~repro.core.tiered.RunIndex` machinery shared with the
+    tiered store) to touch only the records a query needs.  Each record is
+    crc-verified and parsed on the first decode of *that* record — the
+    per-record analogue of the lazy archive contract — so a point query
+    into a 100-record archive pays for one record, not one hundred.
+    """
+
+    def __init__(
+        self,
+        runs: list[_AppendRun],
+        *,
+        codec_id: str,
+        codec_params: dict,
+        path=None,
+        source=None,
+    ) -> None:
+        from ..core.tiered import RunIndex
+
+        self._runs = runs
+        self._index = RunIndex([run.count for run in runs])
+        self._n = self._index.total
+        self._path = path
+        self._source = source  # keeps an mmap alive alongside the views
+        self.truncated_bytes = 0  # torn-tail bytes ignored at open, if any
+        self.codec_id = codec_id
+        self.codec_params = dict(codec_params)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of append records (one per :meth:`AppendableArchive.append`)."""
+        return len(self._runs)
+
+    def _run(self, i: int) -> Compressed:
+        run = self._runs[i]
+        if run.compressed is None:
+            if not run.verified:
+                if zlib.crc32(run.frame) != run.crc:
+                    raise ValueError(
+                        f"{self._path}: appendable archive record {i} "
+                        "checksum mismatch (corrupt record)"
+                    )
+                run.verified = True
+            compressed = load_compressed(run.frame)
+            if len(compressed) != run.count:
+                raise ValueError(
+                    f"{self._path}: appendable archive record {i} holds "
+                    f"{len(compressed)} values, record header says {run.count}"
+                )
+            run.compressed = compressed
+        return run.compressed
+
+    def _load_all(self) -> None:
+        """Verify and parse every record (the eager open path)."""
+        for i in range(len(self._runs)):
+            self._run(i)
+
+    def access(self, k: int) -> int:
+        if not 0 <= k < self._n:
+            raise IndexError(k)
+        i, local = self._index.locate(k)
+        return self._run(i).access(local)
+
+    def decompress_range(self, lo: int, hi: int) -> np.ndarray:
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        out = [
+            self._run(i).decompress_range(a, b)
+            for i, a, b in self._index.spans(lo, hi)
+        ]
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+    def decompress(self) -> np.ndarray:
+        return self.decompress_range(0, self._n)
+
+    def size_bits(self) -> int:
+        return sum(self._run(i).size_bits() for i in range(len(self._runs)))
+
+    def to_bytes(self) -> bytes:
+        """One frame covering every record — what sealing compacts to.
+
+        Appendable codecs are lossless (enforced at :meth:`create` time),
+        so recompressing the concatenated values with the recorded codec
+        and params yields exactly the frame a one-shot compression of the
+        full series would have produced.
+        """
+        fresh = get_codec(self.codec_id, **self.codec_params).compress(
+            self.decompress()
+        )
+        return fresh.to_bytes()
+
+
+def _open_append(path: Path, buf, *, lazy: bool) -> Archive:
+    """An :class:`Archive` over an ``RPAL0001`` buffer (bytes or mmap view)."""
+    digits, codec_id, params, records, end = _scan_append(buf, path)
+    view = buf if isinstance(buf, memoryview) else memoryview(buf)
+    runs, total = [], 0
+    for start, frame_len, crc, cum in records:
+        runs.append(_AppendRun(view[start : start + frame_len], crc, cum - total))
+        total = cum
+    compressed = _MultiRunCompressed(
+        runs,
+        codec_id=codec_id,
+        codec_params=params,
+        path=path,
+        source=view if lazy else None,
+    )
+    compressed.truncated_bytes = view.nbytes - end
+    if not lazy:
+        compressed._load_all()  # eager contract: errors surface at open time
+    return Archive(
+        compressed=compressed,
+        digits=digits,
+        codec_id=codec_id,
+        params=dict(params),
+        path=path,
+    )
+
+
+class AppendableArchive:
+    """The writer handle of an ``RPAL0001`` appendable archive.
+
+    Create one with :meth:`create` (new file) or :meth:`open` (resume an
+    existing one) — or :func:`append_open`, which picks.  Each
+    :meth:`append` compresses only the new values and lands them as one
+    fsync'd tail record: O(new values) work however large the sealed
+    history is.  Reading goes through :func:`open_archive`, which serves
+    the records as a single logical series; :meth:`seal` compacts the
+    archive into a one-shot ``RPAC0001`` file.
+
+    The handle is single-writer: two handles appending to the same file
+    interleave records and corrupt the tail.  Opening a file whose final
+    record was torn by a crash truncates the torn tail before the first
+    new append, so sealed records are never overwritten.
+    """
+
+    def __init__(self) -> None:  # use create()/open()/append_open()
+        self.path: Path = Path()
+        self.digits = 0
+        self.codec_id = ""
+        self.params: dict = {}
+        self._total = 0
+        self._num_records = 0
+        self._end = 0
+        self._compressor = None
+        self._sealed = False
+
+    @classmethod
+    def create(cls, path, *, codec: str = "gorilla", digits: int = 0, **params):
+        """Start a new appendable archive at ``path`` (header only, atomic).
+
+        ``codec`` must be a lossless registry id: appends and seals
+        recompress decoded values, and recompressing an *approximation*
+        would compound a lossy codec's error beyond its ε guarantee.
+        """
+        if codec_spec(codec).lossy:
+            raise ValueError(
+                f"appendable archives require a lossless codec, got {codec!r}: "
+                "sealing recompresses decoded values, which would "
+                "re-approximate an approximation"
+            )
+        get_codec(codec, **params)  # probe: bad params must fail before I/O
+        path = Path(path)
+        if path.exists():
+            raise ValueError(
+                f"{path} already exists; use AppendableArchive.open (or "
+                "append_open) to resume it"
+            )
+        cid = codec.encode("utf-8")
+        pjson = json.dumps(params or {}, sort_keys=True).encode("utf-8")
+        header = _APPEND_HEADER.pack(APPEND_MAGIC, int(digits), len(cid),
+                                     len(pjson)) + cid + pjson
+        write_atomic(path, header)
+        archive = cls()
+        archive.path = path
+        archive.digits = int(digits)
+        archive.codec_id = codec
+        archive.params = dict(params)
+        archive._end = len(header)
+        return archive
+
+    @classmethod
+    def open(cls, path):
+        """Resume an existing appendable archive for writing.
+
+        Scans the record headers (no payload decoding — O(records) seeks),
+        positions the write cursor after the last complete record, and
+        drops any torn tail so the next append lands on sealed ground.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        if data[:8] == ARCHIVE_MAGIC:
+            raise ValueError(
+                f"{path} is a sealed one-shot archive (RPAC0001); it cannot "
+                "be appended to — create a new appendable archive instead"
+            )
+        digits, codec_id, params, records, end = _scan_append(data, path)
+        archive = cls()
+        archive.path = path
+        archive.digits = digits
+        archive.codec_id = codec_id
+        archive.params = dict(params)
+        archive._total = records[-1][3] if records else 0
+        archive._num_records = len(records)
+        archive._end = end
+        if len(data) > end:  # torn tail from a crashed append: drop it now
+            with open(path, "r+b") as fh:
+                fh.truncate(end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return archive
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def num_records(self) -> int:
+        """Records written so far (one per successful :meth:`append`)."""
+        return self._num_records
+
+    def _codec(self):
+        if self._compressor is None:
+            self._compressor = get_codec(self.codec_id, **self.params)
+        return self._compressor
+
+    def append(self, values) -> int:
+        """Compress ``values`` and append them as one fsync'd tail record.
+
+        Returns the new total value count.  The record is on disk when
+        this returns; a crash mid-write tears only this record, which
+        openers skip and the next writer truncates.  Appending an empty
+        array is a no-op.
+        """
+        if self._sealed:
+            raise ValueError(
+                f"{self.path} was sealed into a one-shot archive; this "
+                "handle can no longer append"
+            )
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("expected a 1-D array")
+        if len(values) == 0:
+            return self._total
+        frame = self._codec().compress(values).to_bytes()
+        new_total = self._total + len(values)
+        record = _RECORD.pack(len(frame), zlib.crc32(frame), new_total) + frame
+        with open(self.path, "r+b") as fh:
+            fh.seek(self._end)
+            fh.write(record)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._end += len(record)
+        self._total = new_total
+        self._num_records += 1
+        return new_total
+
+    def seal(self, dst=None) -> Path:
+        """Compact the record sequence into a one-shot ``RPAC0001`` archive.
+
+        Decodes every record (verifying each crc), recompresses the full
+        series as a single frame, and writes it atomically to ``dst``
+        (default: in place, replacing the appendable file).  The handle
+        refuses further appends afterwards.
+        """
+        if self._total == 0:
+            raise ValueError(f"cannot seal {self.path}: no records appended yet")
+        archive = open_archive(self.path)  # eager: every record verified
+        target = Path(dst) if dst is not None else self.path
+        save(target, archive)
+        self._sealed = True
+        return target
+
+
+def append_open(
+    path, *, codec: str | None = None, digits: int | None = None, **params
+):
+    """Open ``path`` for appending, creating the archive when missing.
+
+    The facade of the streaming ingest path (``repro.append_open``).  For
+    an existing archive the recorded configuration wins; passing ``codec``,
+    ``digits``, or ``params`` that contradict it raises instead of silently
+    mixing frames from different compressors or decimal scalings.  When
+    creating, ``codec`` defaults to ``"gorilla"`` and ``digits`` to 0.
+    """
+    path = Path(path)
+    if path.exists():
+        archive = AppendableArchive.open(path)
+        if codec is not None and codec != archive.codec_id:
+            raise ValueError(
+                f"{path} was created with codec {archive.codec_id!r}; "
+                f"cannot append with {codec!r}"
+            )
+        if digits is not None and int(digits) != archive.digits:
+            raise ValueError(
+                f"{path} records digits={archive.digits}; appending "
+                f"digits={int(digits)} values would mix scales"
+            )
+        if params and dict(params) != archive.params:
+            raise ValueError(
+                f"{path} was created with params {archive.params!r}; "
+                f"cannot append with {dict(params)!r}"
+            )
+        return archive
+    return AppendableArchive.create(
+        path, codec=codec or "gorilla", digits=digits or 0, **params
     )
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "Frame",
     "write_frame",
     "read_frame",
+    "frame_span",
     "encode_values",
     "decode_values",
 ]
@@ -146,6 +147,31 @@ def read_frame(data) -> Frame:
         raise ValueError("corrupt codec frame: params must be an object")
     pos += plen
     return Frame(codec_id, params, n, kind, view[pos : pos + paylen])
+
+
+def frame_span(data) -> int:
+    """The total byte length of the frame starting at ``data[0]``.
+
+    Parses only the fixed frame header — no params or payload decoding —
+    so callers scanning a multi-frame buffer (the appendable container of
+    :mod:`repro.codecs.container`) can cross-check a record's claimed
+    length against the frame's own accounting.  ``data`` may extend past
+    the frame; raises ``ValueError`` when even the header is incomplete
+    or malformed.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view.nbytes < _HEADER.size:
+        raise ValueError("truncated codec frame: header incomplete")
+    magic, version, kind, idlen, plen, n, paylen = _HEADER.unpack_from(view)
+    if magic != FRAME_MAGIC:
+        raise ValueError("not a repro codec frame (bad magic)")
+    if version != FRAME_VERSION:
+        raise ValueError(f"unsupported codec frame version {version}")
+    if kind not in (KIND_VALUES, KIND_NATIVE):
+        raise ValueError(f"corrupt codec frame: unknown payload kind {kind}")
+    if n < 0:
+        raise ValueError(f"corrupt codec frame: negative value count {n}")
+    return _HEADER.size + idlen + plen + paylen
 
 
 def encode_values(values: np.ndarray) -> bytes:

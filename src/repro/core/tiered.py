@@ -38,9 +38,54 @@ import zlib
 
 import numpy as np
 
-__all__ = ["TieredStore"]
+__all__ = ["RunIndex", "TieredStore"]
 
 _MAGIC = b"RPTS0001"
+
+
+class RunIndex:
+    """Binary search over the cumulative value counts of ordered runs.
+
+    The multi-run machinery shared by everything that stitches a sequence
+    of independently compressed blocks into one logical series: the tiered
+    store's cold-runs + hot-blocks chain, and the appendable archive's
+    record sequence (:mod:`repro.codecs.container`).  ``locate`` maps a
+    global position to ``(run index, local position)`` in O(log runs);
+    ``spans`` decomposes a global ``[lo, hi)`` range into per-run slices.
+    """
+
+    __slots__ = ("_cum",)
+
+    def __init__(self, counts) -> None:
+        self._cum = np.cumsum(np.asarray(list(counts), dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self._cum)
+
+    @property
+    def total(self) -> int:
+        """Total values across every run."""
+        return int(self._cum[-1]) if len(self._cum) else 0
+
+    def start(self, i: int) -> int:
+        """Global position of the first value of run ``i``."""
+        return int(self._cum[i - 1]) if i else 0
+
+    def locate(self, k: int) -> tuple[int, int]:
+        """``(run index, local position)`` of global position ``k``."""
+        i = int(np.searchsorted(self._cum, k, side="right"))
+        return i, k - self.start(i)
+
+    def spans(self, lo: int, hi: int):
+        """Yield ``(run index, local lo, local hi)`` covering ``[lo, hi)``."""
+        if lo >= hi:
+            return
+        first = int(np.searchsorted(self._cum, lo, side="right"))
+        for i in range(first, len(self._cum)):
+            start = self.start(i)
+            if start >= hi:
+                break
+            yield i, max(lo, start) - start, min(hi, int(self._cum[i])) - start
 
 
 def _resolve(codec, params: dict | None):
@@ -100,6 +145,7 @@ class TieredStore:
         self._hot_counts: list[int] = []
         self._cold: list = []  # consolidated Compressed runs, in order
         self._cold_counts: list[int] = []
+        self._run_index: RunIndex | None = None  # rebuilt after mutations
 
     # -- ingestion ------------------------------------------------------------
 
@@ -133,6 +179,7 @@ class TieredStore:
             chunk = values[pos : pos + self._seal_threshold]
             self._hot.append(self._hot_codec.compress(chunk))
             self._hot_counts.append(len(chunk))
+            self._run_index = None
             pos += self._seal_threshold
         self._buffer.extend(values[pos:].tolist())
 
@@ -159,6 +206,7 @@ class TieredStore:
         self._seal()
         self._hot.append(block)
         self._hot_counts.append(n)
+        self._run_index = None
 
     def _seal(self) -> None:
         if not self._buffer:
@@ -166,6 +214,7 @@ class TieredStore:
         chunk = np.array(self._buffer, dtype=np.int64)
         self._hot.append(self._hot_codec.compress(chunk))
         self._hot_counts.append(len(chunk))
+        self._run_index = None
         self._buffer.clear()
 
     def _cold_is_lossy(self) -> bool:
@@ -213,46 +262,46 @@ class TieredStore:
             self._cold_counts.append(len(merged))
         self._hot.clear()
         self._hot_counts.clear()
+        self._run_index = None
 
     # -- queries ------------------------------------------------------------------
 
     def __len__(self) -> int:
         return sum(self._cold_counts) + sum(self._hot_counts) + len(self._buffer)
 
-    def _sealed_blocks(self):
-        """Every compressed block in global order: cold runs, then hot."""
-        yield from zip(self._cold, self._cold_counts)
-        yield from zip(self._hot, self._hot_counts)
+    def _index(self) -> RunIndex:
+        """The cumulative-count index over cold runs then hot blocks."""
+        if self._run_index is None:
+            self._run_index = RunIndex(self._cold_counts + self._hot_counts)
+        return self._run_index
+
+    def _run_at(self, i: int):
+        """The ``i``-th sealed block in global order (cold first, then hot)."""
+        return self._cold[i] if i < len(self._cold) else self._hot[i - len(self._cold)]
 
     def access(self, k: int) -> int:
         """The value at global position ``k``, whatever tier holds it."""
         if not 0 <= k < len(self):
             raise IndexError(k)
-        for block, count in self._sealed_blocks():
-            if k < count:
-                return block.access(k)
-            k -= count
-        return self._buffer[k]
+        index = self._index()
+        if k < index.total:
+            i, local = index.locate(k)
+            return self._run_at(i).access(local)
+        return self._buffer[k - index.total]
 
     def range(self, lo: int, hi: int) -> np.ndarray:
         """Values at global positions ``[lo, hi)`` across tiers."""
         if not 0 <= lo <= hi <= len(self):
             raise IndexError((lo, hi))
-        out = []
-        pos, offset = lo, 0
-        for block, count in self._sealed_blocks():
-            if pos >= hi:
-                break
-            if pos < offset + count:
-                local_lo = pos - offset
-                local_hi = min(hi - offset, count)
-                out.append(block.decompress_range(local_lo, local_hi))
-                pos = offset + local_hi
-            offset += count
-        if pos < hi:  # tail lives in the write buffer
-            sealed = sum(self._cold_counts) + sum(self._hot_counts)
+        index = self._index()
+        out = [
+            self._run_at(i).decompress_range(a, b)
+            for i, a, b in index.spans(lo, min(hi, index.total))
+        ]
+        if hi > index.total:  # tail lives in the write buffer
+            local_lo = max(lo, index.total) - index.total
             out.append(
-                np.array(self._buffer[pos - sealed : hi - sealed], dtype=np.int64)
+                np.array(self._buffer[local_lo : hi - index.total], dtype=np.int64)
             )
         return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
 

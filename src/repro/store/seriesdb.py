@@ -39,9 +39,22 @@ under it.  With ``lazy=True`` shard files are memory-mapped and their
 frames parsed zero-copy off the map (the lazy open path of
 :mod:`repro.codecs.container`) instead of being read and copied.
 
-All mutations stay in memory until :meth:`flush`, and every shard read is
-crc-checked on the way back in — a swapped or bit-rotted shard file
-fails loudly instead of answering queries from the wrong series.
+Ingested values are durable *before* :meth:`flush`: every ``ingest`` /
+``ingest_many`` first lands the new values in the series' **write-ahead
+append log** — an appendable archive (``RPAL0001``, see
+:class:`repro.codecs.container.AppendableArchive`) compressed with the hot
+codec, one fsync'd tail record per batch — and only then mutates the
+in-memory shard.  The manifest references the log before any data lands
+in it, so after a crash the next open finds the log, replays it on top of
+the shard snapshot, and re-marks the shard dirty; a record torn by a
+mid-append crash is detected and skipped, keeping every completed batch.
+:meth:`flush` consolidates: the snapshot absorbs the logged values, the
+manifest commit rotates to a fresh (empty) log generation, and the old
+log file is dropped post-commit.
+
+All other mutations stay in memory until :meth:`flush`, and every shard
+read is crc-checked on the way back in — a swapped or bit-rotted shard
+file fails loudly instead of answering queries from the wrong series.
 """
 
 from __future__ import annotations
@@ -55,7 +68,7 @@ from pathlib import Path
 import numpy as np
 
 from ..baselines.base import Compressed
-from ..codecs.container import mmap_view
+from ..codecs.container import AppendableArchive, mmap_view, open_archive
 from ..codecs.container import write_atomic as _write_atomic
 from ..core.tiered import TieredStore
 from .parallel import compress_many_frames
@@ -124,6 +137,13 @@ class SeriesDB:
         self._stores: OrderedDict[str, TieredStore] = OrderedDict()
         self._cached_gen: dict[str, str] = {}  # shard filename at load time
         self._dirty: set[str] = set()
+        self._wals: dict[str, AppendableArchive] = {}  # open append-log writers
+        # Append-log *generation names* the on-disk manifest references.
+        # Tracking names (not series ids) matters: a flush that dies between
+        # rotating a log name in memory and committing the manifest must
+        # force a re-commit before the next record lands, or data would land
+        # in a file recovery cannot find.
+        self._wal_synced: set[str] = set()
         manifest_path = self._root / MANIFEST_NAME
         if manifest_path.exists():
             manifest = json.loads(manifest_path.read_text("utf-8"))
@@ -146,6 +166,10 @@ class SeriesDB:
             self._config["allow_lossy"] = bool(manifest.get("allow_lossy", False))
             self._series: dict[str, dict] = dict(manifest["series"])
             self._next_shard = int(manifest["next_shard"])
+            self._wal_synced = {
+                e["wal"] for e in self._series.values() if "wal" in e
+            }
+            self._recover_append_logs()
         else:
             if not isinstance(hot_codec, str) or not isinstance(cold_codec, str):
                 raise ValueError(
@@ -294,10 +318,20 @@ class SeriesDB:
         ``digits`` records the values' decimal scaling (§II of the paper)
         in the manifest, like the archive container does; appending to an
         existing series with a different scaling raises.
+
+        The values are durable when this returns: they land in the series'
+        append log (one fsync'd record) before the in-memory shard is
+        touched, and :meth:`flush` later consolidates them into the shard
+        snapshot.
         """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError(f"series {series_id!r}: expected a 1-D array")
         self._check_digits(series_id, digits)
         store = self._store_for_ingest(series_id)
         self._apply_digits(series_id, digits)
+        if len(values):
+            self._append_wal(series_id, values)
         store.extend(values)
         self._dirty.add(series_id)
         return len(store)
@@ -348,11 +382,21 @@ class SeriesDB:
             workers=workers,
             **self._config["hot_params"],
         )
-        # Phase 3 — apply.
+        # Phase 3 — apply.  Register every series and its log generation
+        # first, so the whole batch needs one manifest commit instead of one
+        # per new series inside _append_wal.
         counts = {}
+        stores = {}
         for sid, values, head, n_chunks in plans:
-            store = self._store_for_ingest(sid)
+            stores[sid] = self._store_for_ingest(sid)
             self._apply_digits(sid, digits)
+            if len(values) and "wal" not in self._series[sid]:
+                self._series[sid]["wal"] = self._gen_name(sid, ".wal")
+        self._sync_wal_manifest()  # no-op when every log is already referenced
+        for sid, values, head, n_chunks in plans:
+            store = stores[sid]
+            if len(values):  # one durable append-log record per series
+                self._append_wal(sid, values)
             self._dirty.add(sid)
             if head:
                 store.extend(values[:head])
@@ -367,13 +411,7 @@ class SeriesDB:
             return self._load(series_id)
         if not series_id or not isinstance(series_id, str):
             raise ValueError(f"invalid series id {series_id!r}")
-        store = TieredStore(
-            seal_threshold=self._config["seal_threshold"],
-            hot_codec=self._config["hot_codec"],
-            cold_codec=self._config["cold_codec"],
-            hot_params=self._config["hot_params"],
-            cold_params=self._config["cold_params"],
-        )
+        store = self._fresh_store()
         self._series[series_id] = {
             "shard": self._shard_name(series_id),
             "count": 0,
@@ -456,7 +494,10 @@ class SeriesDB:
         filename, and the old file is deleted only after the manifest
         commits — a crash mid-flush leaves the manifest pointing at the
         previous intact shards (plus, at worst, some orphan files), never
-        at a shard whose crc it cannot verify.
+        at a shard whose crc it cannot verify.  The same commit rotates
+        each flushed series to a fresh (empty) append-log generation: the
+        snapshot now holds everything the old log held, so the old log
+        file is dropped post-commit alongside the replaced shard.
         """
         replaced: list[Path] = []
         for sid in sorted(self._dirty):
@@ -464,11 +505,21 @@ class SeriesDB:
             blob = store.to_bytes()
             entry = self._series[sid]
             old = self._root / entry["shard"]
-            if old.exists():  # rewrite under a fresh name, drop old post-commit
-                entry["shard"] = self._shard_name(sid)
+            # Write the snapshot before touching the entry: if the write
+            # raises (disk full), the entry still points at the previous
+            # intact shard and log, and a later manifest commit (e.g. from
+            # _sync_wal_manifest) stays consistent.
+            shard = self._shard_name(sid) if old.exists() else entry["shard"]
+            _write_atomic(self._root / shard, blob)
+            if shard != entry["shard"]:  # rewrite: drop the old file post-commit
+                entry["shard"] = shard
                 replaced.append(old)
-            _write_atomic(self._root / entry["shard"], blob)
-            self._cached_gen[sid] = entry["shard"]
+            self._cached_gen[sid] = shard
+            old_wal = entry.get("wal")
+            if old_wal and (self._root / old_wal).exists():
+                entry["wal"] = self._gen_name(sid, ".wal")
+                replaced.append(self._root / old_wal)
+            self._wals.pop(sid, None)
             report = store.tier_report()
             entry.update(
                 count=len(store),
@@ -479,6 +530,9 @@ class SeriesDB:
             )
         self._dirty.clear()
         self._write_manifest()  # the commit point
+        self._wal_synced = {
+            e["wal"] for e in self._series.values() if "wal" in e
+        }
         for path in replaced:
             path.unlink(missing_ok=True)
         self._evict()  # flushed shards are clean and evictable again
@@ -486,12 +540,22 @@ class SeriesDB:
     # -- internals ------------------------------------------------------------
 
     def _check_digits(self, series_id: str, digits: int | None) -> None:
-        """Reject an append whose decimal scaling disagrees with the manifest."""
+        """Reject an append whose decimal scaling disagrees with the recorded one.
+
+        The gate uses the *live* store length for cached shards: the
+        manifest ``count`` stays at its last-flushed value (0 for a brand
+        new series), so gating on it alone would let two pre-flush ingests
+        with conflicting ``digits`` silently overwrite the series' scaling.
+        """
         if digits is None or series_id not in self._series:
             return
         entry = self._series[series_id]
         recorded = int(entry.get("digits", 0))
-        if entry["count"] and int(digits) != recorded:
+        if series_id in self._stores:
+            count = len(self._stores[series_id])
+        else:
+            count = int(entry["count"])
+        if count and int(digits) != recorded:
             raise ValueError(
                 f"series {series_id!r} was ingested with digits={recorded}; "
                 f"appending digits={int(digits)} values would mix scales"
@@ -501,12 +565,92 @@ class SeriesDB:
         if digits is not None:
             self._series[series_id]["digits"] = int(digits)
 
-    def _shard_name(self, series_id: str) -> str:
-        """A fresh, never-reused shard filename for ``series_id``."""
+    def _fresh_store(self) -> TieredStore:
+        """An empty shard configured like every other shard in this DB."""
+        return TieredStore(
+            seal_threshold=self._config["seal_threshold"],
+            hot_codec=self._config["hot_codec"],
+            cold_codec=self._config["cold_codec"],
+            hot_params=self._config["hot_params"],
+            cold_params=self._config["cold_params"],
+        )
+
+    def _gen_name(self, series_id: str, suffix: str) -> str:
+        """A fresh, never-reused generation filename for ``series_id``."""
         stem = _UNSAFE.sub("_", series_id)[:48] or "series"
-        name = f"{_SHARD_DIR}/{stem}-{self._next_shard:04d}.tier"
+        name = f"{_SHARD_DIR}/{stem}-{self._next_shard:04d}{suffix}"
         self._next_shard += 1
         return name
+
+    def _shard_name(self, series_id: str) -> str:
+        return self._gen_name(series_id, ".tier")
+
+    # -- the write-ahead append log -------------------------------------------
+
+    def _append_wal(self, series_id: str, values: np.ndarray) -> None:
+        """Land ``values`` in the series' append log, durably, before the store.
+
+        The log is an appendable archive compressed with the hot codec —
+        the same cheap streaming codec the values are headed for anyway.
+        The manifest is committed first whenever it does not yet reference
+        this log generation (new series, or first append after a rotation
+        on an old-format manifest): crash recovery finds logs through the
+        manifest, so data must never land in an unreferenced file.
+        """
+        entry = self._series[series_id]
+        if "wal" not in entry:
+            entry["wal"] = self._gen_name(series_id, ".wal")
+        if entry["wal"] not in self._wal_synced:
+            self._sync_wal_manifest()
+        wal = self._wals.get(series_id)
+        if wal is None:
+            path = self._root / entry["wal"]
+            if path.exists():
+                wal = AppendableArchive.open(path)
+            else:
+                wal = AppendableArchive.create(
+                    path,
+                    codec=self._config["hot_codec"],
+                    digits=int(entry.get("digits", 0)),
+                    **self._config["hot_params"],
+                )
+            self._wals[series_id] = wal
+        wal.append(values)
+
+    def _sync_wal_manifest(self) -> None:
+        """Commit the manifest unless it already references every log name."""
+        names = {e["wal"] for e in self._series.values() if "wal" in e}
+        if not names <= self._wal_synced:
+            self._write_manifest()
+            self._wal_synced = names
+
+    def _replay_wal(self, series_id: str, store: TieredStore) -> None:
+        """Re-apply logged values a crash kept out of the shard snapshot.
+
+        Called on every fresh shard load.  The log referenced by the
+        manifest holds exactly the values appended since the snapshot was
+        committed (flush rotates to an empty generation atomically with
+        the snapshot count), so replay is a plain ``extend`` — and the
+        shard is re-marked dirty so the next flush consolidates it.
+        """
+        name = self._series[series_id].get("wal")
+        if not name:
+            return
+        path = self._root / name
+        if not path.exists():
+            return
+        log = open_archive(path)  # eager: every complete record crc-checked
+        if len(log) == 0:
+            return
+        store.extend(log.decompress())
+        self._dirty.add(series_id)
+
+    def _recover_append_logs(self) -> None:
+        """Load (and thereby replay) every series with a surviving append log."""
+        for sid, entry in self._series.items():
+            name = entry.get("wal")
+            if name and (self._root / name).exists():
+                self._load(sid)
 
     def _entry(self, series_id: str) -> dict:
         try:
@@ -531,22 +675,29 @@ class SeriesDB:
             del self._stores[series_id]
             self._cached_gen.pop(series_id, None)
         entry = self._entry(series_id)
-        data = self._read_shard(self._root / entry["shard"])
-        # The snapshot's own crc catches bit rot; the manifest crc also
-        # catches a shard file swapped with another (valid) one.
-        if zlib.crc32(data) != entry["crc32"]:
-            raise ValueError(
-                f"shard {entry['shard']} does not match the manifest crc "
-                f"for series {series_id!r} (swapped or corrupt shard file)"
-            )
-        store = TieredStore.from_bytes(data)
-        if len(store) != entry["count"]:
-            raise ValueError(
-                f"shard {entry['shard']} holds {len(store)} values, "
-                f"manifest says {entry['count']}"
-            )
+        shard_path = self._root / entry["shard"]
+        if int(entry["count"]) == 0 and not shard_path.exists():
+            # Registered by a durable ingest but never flushed: no snapshot
+            # yet — any surviving values live in the append log alone.
+            store = self._fresh_store()
+        else:
+            data = self._read_shard(shard_path)
+            # The snapshot's own crc catches bit rot; the manifest crc also
+            # catches a shard file swapped with another (valid) one.
+            if zlib.crc32(data) != entry["crc32"]:
+                raise ValueError(
+                    f"shard {entry['shard']} does not match the manifest crc "
+                    f"for series {series_id!r} (swapped or corrupt shard file)"
+                )
+            store = TieredStore.from_bytes(data)
+            if len(store) != entry["count"]:
+                raise ValueError(
+                    f"shard {entry['shard']} holds {len(store)} values, "
+                    f"manifest says {entry['count']}"
+                )
         self._stores[series_id] = store
         self._cached_gen[series_id] = entry["shard"]
+        self._replay_wal(series_id, store)
         self._evict(protect=series_id)
         return store
 

@@ -149,6 +149,44 @@ class TestLossyCompress:
                   "--codec", "pla", "--eps", "1", "--codec-param", "notkv"])
 
 
+class TestAppendCommand:
+    def test_create_append_read_seal(self, tmp_path, rng, capsys):
+        values = np.cumsum(rng.integers(-30, 31, 1200)).astype(np.int64)
+        b1, b2 = tmp_path / "b1.csv", tmp_path / "b2.csv"
+        write_csv(b1, values[:800], digits=2)
+        write_csv(b2, values[800:], digits=2)
+        log = tmp_path / "s.rpal"
+        assert main(["append", str(log), str(b1), "--codec", "gorilla",
+                     "--digits", "2"]) == 0
+        assert main(["append", str(log), str(b2)]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+        assert main(["info", str(log), "--lazy"]) == 0
+        out = capsys.readouterr().out
+        assert "append runs:   2" in out
+        assert "1,200" in out
+        restored = tmp_path / "restored.csv"
+        assert main(["decompress", str(log), str(restored)]) == 0
+        assert np.array_equal(read_csv(restored, 2), values)
+        assert main(["append", str(log), str(b2), "--seal"]) == 0
+        assert log.read_bytes()[:8] == b"RPAC0001"
+
+    def test_codec_conflict_fails_cleanly(self, tmp_path, rng, capsys):
+        b1 = tmp_path / "b1.csv"
+        write_csv(b1, np.arange(100, dtype=np.int64), digits=0)
+        log = tmp_path / "s.rpal"
+        assert main(["append", str(log), str(b1)]) == 0  # default: gorilla
+        assert main(["append", str(log), str(b1), "--codec", "zstd"]) == 1
+        assert "created with codec" in capsys.readouterr().err
+
+    def test_digits_conflict_fails_cleanly(self, tmp_path, rng, capsys):
+        b1 = tmp_path / "b1.csv"
+        write_csv(b1, np.arange(100, dtype=np.int64), digits=1)
+        log = tmp_path / "s.rpal"
+        assert main(["append", str(log), str(b1), "--digits", "1"]) == 0
+        assert main(["append", str(log), str(b1), "--digits", "3"]) == 1
+        assert "mix scales" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_dataset(self, tmp_path, capsys):
         out = tmp_path / "it.csv"
