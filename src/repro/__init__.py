@@ -66,10 +66,21 @@ compaction)::
     db = repro.SeriesDB("dbdir", hot_codec="gorilla", cold_codec="neats")
     db.ingest_many(series_by_id, workers=4); db.compact(); db.flush()
 
+Integrity tooling: :func:`fsck` structurally verifies any archive or
+SeriesDB directory offline (``deep=True`` decodes every frame), and
+:func:`run_lint` runs the repo's AST-based invariant linter — both also
+exposed as ``repro fsck`` / ``repro lint`` on the CLI::
+
+    report = repro.fsck("series.rpac", deep=True)
+    report.ok, report.exit_code                # scripting-friendly
+
 Lower-level entry points remain available: :class:`NeaTS` for direct use,
 ``repro.codecs`` for the registry, ``repro.store`` for the store
-subsystem, ``repro.bench`` for the paper's harness.
+subsystem, ``repro.analysis`` for the integrity tools, ``repro.bench``
+for the paper's harness.
 """
+
+from .analysis import FsckReport, fsck_path as fsck, run_lint
 
 from .baselines import Compressed, LossyCompressed
 from .codecs import (
@@ -96,7 +107,7 @@ from .core import (
 from .data import dataset_names, load
 from .store import SeriesDB, compress_many, compress_many_frames
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 # NOTE: "open" is deliberately absent from __all__ — `from repro import *`
 # must not shadow the builtin; use repro.open or open_archive explicitly.
@@ -124,5 +135,8 @@ __all__ = [
     "default_eps_set",
     "load",
     "dataset_names",
+    "fsck",
+    "FsckReport",
+    "run_lint",
     "__version__",
 ]

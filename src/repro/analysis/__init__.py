@@ -1,0 +1,40 @@
+"""Static analysis & integrity: the machine-checked invariants of the repo.
+
+Two tools live here, both wired into the CLI and CI:
+
+* ``repro lint`` (:func:`run_lint`) — an AST-based linter (stdlib ``ast``,
+  no dependencies) enforcing the conventions the paper's trust story rests
+  on: codec-protocol conformance, binary-format discipline, durability
+  discipline (atomic/fsync'd writes only), SeriesDB lock discipline, and
+  bans on pickle/eval/memoryview-writes.  A committed baseline file
+  (:class:`Baseline`) grandfathers existing debt so CI fails only on *new*
+  violations.
+
+* ``repro fsck`` (:func:`fsck_path`) — an offline structural verifier for
+  everything the system persists: one-shot and appendable archives
+  (header/bounds/crc/monotonicity/torn-tail) and SeriesDB directories
+  (manifest <-> shards <-> WAL cross-checks), with ``--deep`` decoding
+  every frame.
+
+This subsystem is the correctness gate the ROADMAP's service layer runs
+behind: invariants that were reviewer-checked through PR 5 are
+machine-checked from here on.
+"""
+
+from .findings import Baseline, Finding, apply_baseline
+from .fsck import FsckReport, Problem, fsck_archive, fsck_path, fsck_seriesdb
+from .linter import run_lint
+from .rules import RULE_CATALOGUE
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "FsckReport",
+    "Problem",
+    "RULE_CATALOGUE",
+    "apply_baseline",
+    "fsck_archive",
+    "fsck_path",
+    "fsck_seriesdb",
+    "run_lint",
+]

@@ -1,0 +1,216 @@
+"""Cross-file codec-protocol conformance (rules RPR001 / RPR002).
+
+The system-wide invariant behind the whole repo: *every* compressed object,
+whatever codec produced it, answers the full :class:`Compressed` surface —
+``size_bits``/``decompress``/``access`` (the abstract core the container,
+store, CLI, and benchmarks drive), with ``to_bytes``/``from_bytes``/
+``compression_ratio`` inherited from the base — and every lossy object
+additionally answers ``reconstruct``/``num_segments`` plus parses back via
+``from_payload``.  PR 1-5 enforced this by review; these rules enforce it
+structurally:
+
+* **RPR001** builds a class graph from the parsed ASTs (no imports), finds
+  every class that descends from ``Compressed``/``LossyCompressed`` by
+  name, and reports any concrete subclass with a required method
+  unimplemented anywhere along its visible ancestry.  A class that itself
+  declares new ``@abstractmethod``\\ s is an abstract intermediate and is
+  skipped.
+
+* **RPR002** cross-checks the *live* :class:`repro.codecs.registry.CodecSpec`
+  table at lint time: every ``lossy=True`` codec must carry a native
+  payload loader (the values fallback cannot reproduce an approximation)
+  and a required ``eps`` param, and every factory must expose
+  ``compress``.  Findings are anchored at the ``register_codec(...)`` call
+  site located in the ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+
+from .findings import Finding
+from .rules import Module, RULE_CATALOGUE, _call_name
+
+__all__ = ["check_protocol_conformance", "check_registry_specs"]
+
+#: the abstract core every concrete Compressed subclass must implement
+REQUIRED_METHODS = frozenset({"size_bits", "decompress", "access"})
+#: the extras a concrete LossyCompressed subclass must add
+REQUIRED_LOSSY_METHODS = frozenset({"reconstruct", "num_segments"})
+#: the concrete surface the roots provide (flagged only if the roots vanish)
+ROOT_PROVIDED = frozenset({
+    "to_bytes", "from_bytes", "compression_ratio", "size_bytes",
+    "decompress_range",
+})
+
+_ROOT = "Compressed"
+_LOSSY_ROOT = "LossyCompressed"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    relpath: str
+    lineno: int
+    bases: tuple[str, ...]
+    concrete: set[str] = field(default_factory=set)
+    abstract: set[str] = field(default_factory=set)
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Last dotted segment of a base-class expression ('base.Compressed')."""
+    while isinstance(node, ast.Subscript):  # Generic[...] bases
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_abstract_decorator(node: ast.expr) -> bool:
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return name in ("abstractmethod", "abstractproperty")
+
+
+def _collect_classes(modules: list[Module]) -> dict[str, _ClassInfo]:
+    """Class name -> info, across all modules (first definition wins)."""
+    classes: dict[str, _ClassInfo] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name in classes:
+                continue
+            info = _ClassInfo(
+                name=node.name,
+                relpath=module.relpath,
+                lineno=node.lineno,
+                bases=tuple(
+                    b for b in (_base_name(base) for base in node.bases) if b
+                ),
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if any(_is_abstract_decorator(d) for d in item.decorator_list):
+                        info.abstract.add(item.name)
+                    else:
+                        info.concrete.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            info.concrete.add(target.id)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    info.concrete.add(item.target.id)
+            classes[node.name] = info
+    return classes
+
+
+def _ancestry(name: str, classes: dict[str, _ClassInfo]) -> list[_ClassInfo]:
+    """The class plus every AST-visible ancestor, MRO-ish depth first."""
+    seen: list[_ClassInfo] = []
+    names: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop(0)
+        if current in names or current not in classes:
+            continue
+        names.add(current)
+        info = classes[current]
+        seen.append(info)
+        stack.extend(info.bases)
+    return seen
+
+
+def check_protocol_conformance(modules: list[Module]) -> list[Finding]:
+    """RPR001 over the whole analyzed file set."""
+    classes = _collect_classes(modules)
+    if _ROOT not in classes:
+        return []  # not the repro codebase (e.g. a test fixture without base)
+    findings: list[Finding] = []
+    for info in classes.values():
+        if info.name in (_ROOT, _LOSSY_ROOT):
+            continue
+        chain = _ancestry(info.name, classes)
+        chain_names = {c.name for c in chain}
+        if _ROOT not in chain_names:
+            continue
+        if info.abstract:
+            continue  # an explicitly abstract intermediate
+        required = set(REQUIRED_METHODS)
+        if _LOSSY_ROOT in chain_names:
+            required |= REQUIRED_LOSSY_METHODS
+        concrete: set[str] = set()
+        for ancestor in chain:
+            concrete |= ancestor.concrete
+        missing = sorted(required - concrete)
+        if missing:
+            findings.append(Finding(
+                "RPR001", info.relpath, info.lineno,
+                f"class {info.name} is a concrete Compressed subclass but "
+                f"never implements: {', '.join(missing)}",
+                RULE_CATALOGUE["RPR001"][1],
+            ))
+    return findings
+
+
+def _registration_sites(modules: list[Module]) -> dict[str, tuple[str, int]]:
+    """codec id -> (file, line) of its ``register_codec(...)`` call."""
+    sites: dict[str, tuple[str, int]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node).split(".")[-1] == "register_codec"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                sites.setdefault(
+                    node.args[0].value, (module.relpath, node.lineno)
+                )
+    return sites
+
+
+def check_registry_specs(modules: list[Module]) -> list[Finding]:
+    """RPR002: the live CodecSpec table vs the codec contract."""
+    from ..codecs.registry import available_codecs, codec_spec
+
+    sites = _registration_sites(modules)
+    findings: list[Finding] = []
+
+    def site(codec_id: str) -> tuple[str, int]:
+        return sites.get(codec_id, ("<registry>", 0))
+
+    for codec_id in available_codecs():
+        spec = codec_spec(codec_id)
+        file, line = site(codec_id)
+        if spec.lossy and spec.load_native is None:
+            findings.append(Finding(
+                "RPR002", file, line,
+                f"lossy codec {codec_id!r} registered without a native "
+                "payload loader: the values fallback cannot reproduce an "
+                "approximation",
+                "pass load_native=... to register_codec",
+            ))
+        if spec.lossy and "eps" not in spec.required_params:
+            findings.append(Finding(
+                "RPR002", file, line,
+                f"lossy codec {codec_id!r} does not require an explicit "
+                "eps param: an error bound is a contract, never a default",
+                "add required_params=('eps',) to register_codec",
+            ))
+        factory = spec.factory
+        target = factory if inspect.isclass(factory) else None
+        if target is not None and not hasattr(target, "compress"):
+            findings.append(Finding(
+                "RPR002", file, line,
+                f"codec {codec_id!r} factory {target.__name__} has no "
+                "compress() method",
+                "factories must build objects exposing compress(values)",
+            ))
+    return findings

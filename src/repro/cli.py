@@ -19,6 +19,21 @@ Usage::
     python -m repro db compact dbdir
     python -m repro db info    dbdir
 
+    python -m repro fsck output.rpac stream.rpal --deep --json
+    python -m repro fsck dbdir
+    python -m repro lint --rules
+    python -m repro lint src/repro --baseline .repro-lint.json
+
+``fsck`` structurally verifies what the system persisted — archive
+headers, frame lengths, per-frame crc32s, cumulative-count monotonicity,
+torn tails, and (for a SeriesDB directory) manifest <-> shard <-> WAL
+consistency — without decoding values unless ``--deep``.  ``lint`` runs
+the repo's AST-based invariant checks (codec-protocol conformance,
+binary-format/durability/lock discipline, pickle/eval bans) against any
+source tree; the committed baseline file grandfathers existing debt so
+only *new* violations fail.  Exit codes for both: 0 = clean, 1 =
+violations/defects, 2 = target unusable.
+
 The ``db`` family drives a :class:`repro.store.SeriesDB`: a directory of
 per-series tiered-store shards with a JSON manifest, batch-ingested
 through a process pool and recompressed in the background by ``compact``.
@@ -256,6 +271,57 @@ def _cmd_generate(args) -> int:
     print(f"wrote {len(values):,} values of {args.dataset} "
           f"({digits} digits) to {args.output}")
     return 0
+
+
+# -- static analysis & integrity ----------------------------------------------
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import RULE_CATALOGUE, Baseline, run_lint
+
+    if args.rules:
+        for rule_id, (title, hint) in sorted(RULE_CATALOGUE.items()):
+            print(f"{rule_id}  {title}")
+            print(f"        fix: {hint}")
+        return 0
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    findings = run_lint(args.paths or None, baseline=baseline)
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baselined {len(findings)} finding(s) into {baseline_path}")
+        return 0
+    fresh = [f for f in findings if not f.baselined]
+    if args.json:
+        print(json.dumps([
+            {"rule": f.rule, "file": f.file, "line": f.line,
+             "message": f.message, "hint": f.hint, "baselined": f.baselined}
+            for f in findings
+        ], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        grandfathered = len(findings) - len(fresh)
+        print(f"{len(fresh)} new finding(s), {grandfathered} baselined")
+    return 1 if fresh else 0
+
+
+def _cmd_fsck(args) -> int:
+    from .analysis import fsck_path
+
+    reports = [fsck_path(target, deep=args.deep) for target in args.targets]
+    if args.json:
+        payload = [r.to_json() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return max(report.exit_code for report in reports)
 
 
 # -- the db subcommand family -------------------------------------------------
@@ -526,6 +592,33 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("output")
     p.add_argument("--n", type=int, default=None)
     p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("lint", help="AST-based invariant linter over the repo")
+    p.add_argument("paths", nargs="*", metavar="path",
+                   help="files or directories to lint (default: the "
+                        "installed repro package sources)")
+    p.add_argument("--baseline", default=".repro-lint.json",
+                   help="baseline file grandfathering existing debt "
+                        "(default: .repro-lint.json; missing file = empty)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to accept all current findings")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings for tooling")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("fsck",
+                       help="verify archives / SeriesDB dirs structurally")
+    p.add_argument("targets", nargs="+", metavar="target",
+                   help="archive files (.rpac/.rpal/legacy) or SeriesDB "
+                        "directories")
+    p.add_argument("--deep", action="store_true",
+                   help="decode every frame and cross-check counts, not "
+                        "just headers and checksums")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report for tooling")
+    p.set_defaults(func=_cmd_fsck)
 
     _add_db_parsers(sub)
 

@@ -56,12 +56,17 @@ _MAGIC = b"TSI64\x00"
 
 
 def write_binary(path: str | Path, values: np.ndarray, digits: int) -> None:
-    """Write int64 values in a compact binary cache format."""
+    """Write int64 values in a compact binary cache format.
+
+    The write is atomic (temp + fsync + rename, the same discipline as the
+    archive container): a reader never sees a torn cache file, and a crash
+    mid-write leaves the previous cache intact.
+    """
+    from ..codecs.container import write_atomic
+
     values = np.asarray(values, dtype=np.int64)
-    with Path(path).open("wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(struct.pack("<qi", len(values), digits))
-        fh.write(values.tobytes())
+    blob = _MAGIC + struct.pack("<qi", len(values), digits) + values.tobytes()
+    write_atomic(path, blob)
 
 
 def read_binary(path: str | Path) -> tuple[np.ndarray, int]:

@@ -55,12 +55,23 @@ log file is dropped post-commit.
 All other mutations stay in memory until :meth:`flush`, and every shard
 read is crc-checked on the way back in — a swapped or bit-rotted shard
 file fails loudly instead of answering queries from the wrong series.
+
+Thread safety: every public method takes the database's re-entrant lock
+(``self._lock``), so one :class:`SeriesDB` handle can be shared by many
+threads — the shard cache, dirty set, WAL writers, and manifest state are
+only ever mutated under it.  Private helpers are documented as
+called-under-lock (the lock is taken at the public API boundary), and the
+``repro lint`` lock-discipline rule (RPR301) enforces the convention
+structurally.  The lock serialises whole operations; finer-grained
+multi-reader/single-writer locking per series is the ROADMAP's service
+layer work.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 import zlib
 from collections import OrderedDict
 from pathlib import Path
@@ -129,6 +140,9 @@ class SeriesDB:
         cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
         lazy: bool = False,
     ) -> None:
+        # Created before any shared state: every public method (and the
+        # recovery path below) runs under this re-entrant lock.
+        self._lock = threading.RLock()
         self._root = Path(root)
         if cache_capacity is not None and cache_capacity < 1:
             raise ValueError("cache_capacity must be positive (or None)")
@@ -269,46 +283,53 @@ class SeriesDB:
 
     def series_ids(self) -> list[str]:
         """Every series id, in ingestion order."""
-        return list(self._series)
+        with self._lock:
+            return list(self._series)
 
     def __contains__(self, series_id: str) -> bool:
-        return series_id in self._series
+        with self._lock:
+            return series_id in self._series
 
     def __len__(self) -> int:
-        return len(self._series)
+        with self._lock:
+            return len(self._series)
 
     def count(self, series_id: str) -> int:
         """Number of values in ``series_id`` — manifest-only, no shard load."""
-        if series_id in self._stores:
-            return len(self._stores[series_id])
-        return int(self._entry(series_id)["count"])
+        with self._lock:
+            if series_id in self._stores:
+                return len(self._stores[series_id])
+            return int(self._entry(series_id)["count"])
 
     def digits(self, series_id: str) -> int:
         """Decimal scaling recorded for ``series_id`` at ingest time."""
-        return int(self._entry(series_id).get("digits", 0))
+        with self._lock:
+            return int(self._entry(series_id).get("digits", 0))
 
     def cache_info(self) -> dict:
         """Shard-cache occupancy: capacity, open shards, pinned (dirty) ones."""
-        return {
-            "capacity": self._cache_capacity,
-            "cached": len(self._stores),
-            "dirty": len(self._dirty),
-            "lazy": self._lazy,
-        }
+        with self._lock:
+            return {
+                "capacity": self._cache_capacity,
+                "cached": len(self._stores),
+                "dirty": len(self._dirty),
+                "lazy": self._lazy,
+            }
 
     def info(self) -> dict:
         """Configuration plus a per-series summary (counts, tiers, shards)."""
-        series = {}
-        for sid, entry in self._series.items():
-            entry = dict(entry)
-            if sid in self._stores:  # live stats beat possibly-stale manifest
-                report = self._stores[sid].tier_report()
-                entry["count"] = len(self._stores[sid])
-                entry["hot_values"] = report["hot_values"]
-                entry["cold_values"] = report["cold_values"]
-                entry["buffer_values"] = report["buffer_values"]
-            series[sid] = entry
-        return {**self._config, "root": str(self._root), "series": series}
+        with self._lock:
+            series = {}
+            for sid, entry in self._series.items():
+                entry = dict(entry)
+                if sid in self._stores:  # live stats beat stale manifest
+                    report = self._stores[sid].tier_report()
+                    entry["count"] = len(self._stores[sid])
+                    entry["hot_values"] = report["hot_values"]
+                    entry["cold_values"] = report["cold_values"]
+                    entry["buffer_values"] = report["buffer_values"]
+                series[sid] = entry
+            return {**self._config, "root": str(self._root), "series": series}
 
     # -- ingestion ------------------------------------------------------------
 
@@ -327,14 +348,15 @@ class SeriesDB:
         values = np.asarray(values, dtype=np.int64)
         if values.ndim != 1:
             raise ValueError(f"series {series_id!r}: expected a 1-D array")
-        self._check_digits(series_id, digits)
-        store = self._store_for_ingest(series_id)
-        self._apply_digits(series_id, digits)
-        if len(values):
-            self._append_wal(series_id, values)
-        store.extend(values)
-        self._dirty.add(series_id)
-        return len(store)
+        with self._lock:
+            self._check_digits(series_id, digits)
+            store = self._store_for_ingest(series_id)
+            self._apply_digits(series_id, digits)
+            if len(values):
+                self._append_wal(series_id, values)
+            store.extend(values)
+            self._dirty.add(series_id)
+            return len(store)
 
     def ingest_many(
         self, series_map, *, workers: int | None = None, digits: int | None = None
@@ -350,61 +372,62 @@ class SeriesDB:
 
         Returns series id -> new total count.
         """
-        threshold = int(self._config["seal_threshold"])
-        # Phase 1 — validate everything and plan chunk boundaries without
-        # mutating any store, so a bad series (or a pool failure in phase 2)
-        # cannot leave the batch half-applied.
-        chunks: dict = {}
-        plans: list[tuple[str, np.ndarray, int, int]] = []
-        for sid, values in series_map.items():
-            values = np.asarray(values, dtype=np.int64)
-            if values.ndim != 1:
-                raise ValueError(f"series {sid!r}: expected a 1-D array")
-            self._check_digits(sid, digits)
-            if sid in self._series:
-                buffered = self._load(sid).tier_report()["buffer_values"]
-            else:
-                if not sid or not isinstance(sid, str):
-                    raise ValueError(f"invalid series id {sid!r}")
-                buffered = 0
-            # A partially filled buffer is topped up serially so that pooled
-            # chunk boundaries line up with what extend() would produce.
-            head = min(threshold - buffered, len(values)) if buffered else 0
-            body = values[head:]
-            n_chunks = len(body) // threshold
-            for i in range(n_chunks):
-                chunks[(sid, i)] = body[i * threshold : (i + 1) * threshold]
-            plans.append((sid, values, head, n_chunks))
-        # Phase 2 — the pooled fan-out (raises before any store changes).
-        frames = compress_many_frames(
-            chunks,
-            self._config["hot_codec"],
-            workers=workers,
-            **self._config["hot_params"],
-        )
-        # Phase 3 — apply.  Register every series and its log generation
-        # first, so the whole batch needs one manifest commit instead of one
-        # per new series inside _append_wal.
-        counts = {}
-        stores = {}
-        for sid, values, head, n_chunks in plans:
-            stores[sid] = self._store_for_ingest(sid)
-            self._apply_digits(sid, digits)
-            if len(values) and "wal" not in self._series[sid]:
-                self._series[sid]["wal"] = self._gen_name(sid, ".wal")
-        self._sync_wal_manifest()  # no-op when every log is already referenced
-        for sid, values, head, n_chunks in plans:
-            store = stores[sid]
-            if len(values):  # one durable append-log record per series
-                self._append_wal(sid, values)
-            self._dirty.add(sid)
-            if head:
-                store.extend(values[:head])
-            for i in range(n_chunks):
-                store.adopt_sealed(Compressed.from_bytes(frames[(sid, i)]))
-            store.extend(values[head + n_chunks * threshold :])
-            counts[sid] = len(store)
-        return counts
+        with self._lock:
+            threshold = int(self._config["seal_threshold"])
+            # Phase 1 — validate everything and plan chunk boundaries without
+            # mutating any store, so a bad series (or a pool failure in phase
+            # 2) cannot leave the batch half-applied.
+            chunks: dict = {}
+            plans: list[tuple[str, np.ndarray, int, int]] = []
+            for sid, values in series_map.items():
+                values = np.asarray(values, dtype=np.int64)
+                if values.ndim != 1:
+                    raise ValueError(f"series {sid!r}: expected a 1-D array")
+                self._check_digits(sid, digits)
+                if sid in self._series:
+                    buffered = self._load(sid).tier_report()["buffer_values"]
+                else:
+                    if not sid or not isinstance(sid, str):
+                        raise ValueError(f"invalid series id {sid!r}")
+                    buffered = 0
+                # A partially filled buffer is topped up serially so that
+                # pooled chunk boundaries line up with what extend() produces.
+                head = min(threshold - buffered, len(values)) if buffered else 0
+                body = values[head:]
+                n_chunks = len(body) // threshold
+                for i in range(n_chunks):
+                    chunks[(sid, i)] = body[i * threshold : (i + 1) * threshold]
+                plans.append((sid, values, head, n_chunks))
+            # Phase 2 — the pooled fan-out (raises before any store changes).
+            frames = compress_many_frames(
+                chunks,
+                self._config["hot_codec"],
+                workers=workers,
+                **self._config["hot_params"],
+            )
+            # Phase 3 — apply.  Register every series and its log generation
+            # first, so the whole batch needs one manifest commit instead of
+            # one per new series inside _append_wal.
+            counts = {}
+            stores = {}
+            for sid, values, head, n_chunks in plans:
+                stores[sid] = self._store_for_ingest(sid)
+                self._apply_digits(sid, digits)
+                if len(values) and "wal" not in self._series[sid]:
+                    self._series[sid]["wal"] = self._gen_name(sid, ".wal")
+            self._sync_wal_manifest()  # no-op when every log is referenced
+            for sid, values, head, n_chunks in plans:
+                store = stores[sid]
+                if len(values):  # one durable append-log record per series
+                    self._append_wal(sid, values)
+                self._dirty.add(sid)
+                if head:
+                    store.extend(values[:head])
+                for i in range(n_chunks):
+                    store.adopt_sealed(Compressed.from_bytes(frames[(sid, i)]))
+                store.extend(values[head + n_chunks * threshold :])
+                counts[sid] = len(store)
+            return counts
 
     def _store_for_ingest(self, series_id: str) -> TieredStore:
         if series_id in self._series:
@@ -434,15 +457,18 @@ class SeriesDB:
 
     def access(self, series_id: str, k: int) -> int:
         """The value at position ``k`` of ``series_id``."""
-        return self._load(series_id).access(k)
+        with self._lock:
+            return self._load(series_id).access(k)
 
     def range(self, series_id: str, lo: int, hi: int) -> np.ndarray:
         """Values at positions ``[lo, hi)`` of ``series_id``."""
-        return self._load(series_id).range(lo, hi)
+        with self._lock:
+            return self._load(series_id).range(lo, hi)
 
     def decompress(self, series_id: str) -> np.ndarray:
         """Every value of ``series_id``, in order."""
-        return self._load(series_id).decompress()
+        with self._lock:
+            return self._load(series_id).decompress()
 
     def store(self, series_id: str) -> TieredStore:
         """The live :class:`TieredStore` shard backing ``series_id``.
@@ -452,14 +478,16 @@ class SeriesDB:
         by an LRU eviction.  The shard is rewritten on the next
         :meth:`flush` — byte-identically when it was not actually mutated.
         """
-        live = self._load(series_id)
-        self._dirty.add(series_id)
-        return live
+        with self._lock:
+            live = self._load(series_id)
+            self._dirty.add(series_id)
+            return live
 
     def mark_dirty(self, series_id: str) -> None:
         """Flag a shard as modified outside the SeriesDB API."""
-        self._load(series_id)  # flush rewrites from the live store
-        self._dirty.add(series_id)
+        with self._lock:
+            self._load(series_id)  # flush rewrites from the live store
+            self._dirty.add(series_id)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -472,20 +500,21 @@ class SeriesDB:
         ``cold_codec`` run).  Compacted shards are flushed immediately.
         Returns the ids that were compacted.
         """
-        compacted = []
-        for sid in self._series:
-            if sid in self._stores:
-                hot_values = self._stores[sid].tier_report()["hot_values"]
-            else:
-                hot_values = int(self._series[sid]["hot_values"])
-            if hot_values > hot_threshold:
-                store = self._load(sid)
-                store.consolidate()
-                self._dirty.add(sid)
-                compacted.append(sid)
-        if compacted:
-            self.flush()
-        return compacted
+        with self._lock:
+            compacted = []
+            for sid in self._series:
+                if sid in self._stores:
+                    hot_values = self._stores[sid].tier_report()["hot_values"]
+                else:
+                    hot_values = int(self._series[sid]["hot_values"])
+                if hot_values > hot_threshold:
+                    store = self._load(sid)
+                    store.consolidate()
+                    self._dirty.add(sid)
+                    compacted.append(sid)
+            if compacted:
+                self.flush()  # re-entrant: same lock
+            return compacted
 
     def flush(self) -> None:
         """Write every modified shard and the manifest back to disk.
@@ -499,43 +528,44 @@ class SeriesDB:
         snapshot now holds everything the old log held, so the old log
         file is dropped post-commit alongside the replaced shard.
         """
-        replaced: list[Path] = []
-        for sid in sorted(self._dirty):
-            store = self._stores[sid]
-            blob = store.to_bytes()
-            entry = self._series[sid]
-            old = self._root / entry["shard"]
-            # Write the snapshot before touching the entry: if the write
-            # raises (disk full), the entry still points at the previous
-            # intact shard and log, and a later manifest commit (e.g. from
-            # _sync_wal_manifest) stays consistent.
-            shard = self._shard_name(sid) if old.exists() else entry["shard"]
-            _write_atomic(self._root / shard, blob)
-            if shard != entry["shard"]:  # rewrite: drop the old file post-commit
-                entry["shard"] = shard
-                replaced.append(old)
-            self._cached_gen[sid] = shard
-            old_wal = entry.get("wal")
-            if old_wal and (self._root / old_wal).exists():
-                entry["wal"] = self._gen_name(sid, ".wal")
-                replaced.append(self._root / old_wal)
-            self._wals.pop(sid, None)
-            report = store.tier_report()
-            entry.update(
-                count=len(store),
-                crc32=zlib.crc32(blob),
-                hot_values=report["hot_values"],
-                cold_values=report["cold_values"],
-                buffer_values=report["buffer_values"],
-            )
-        self._dirty.clear()
-        self._write_manifest()  # the commit point
-        self._wal_synced = {
-            e["wal"] for e in self._series.values() if "wal" in e
-        }
-        for path in replaced:
-            path.unlink(missing_ok=True)
-        self._evict()  # flushed shards are clean and evictable again
+        with self._lock:
+            replaced: list[Path] = []
+            for sid in sorted(self._dirty):
+                store = self._stores[sid]
+                blob = store.to_bytes()
+                entry = self._series[sid]
+                old = self._root / entry["shard"]
+                # Write the snapshot before touching the entry: if the write
+                # raises (disk full), the entry still points at the previous
+                # intact shard and log, and a later manifest commit (e.g.
+                # from _sync_wal_manifest) stays consistent.
+                shard = self._shard_name(sid) if old.exists() else entry["shard"]
+                _write_atomic(self._root / shard, blob)
+                if shard != entry["shard"]:  # rewrite: drop old post-commit
+                    entry["shard"] = shard
+                    replaced.append(old)
+                self._cached_gen[sid] = shard
+                old_wal = entry.get("wal")
+                if old_wal and (self._root / old_wal).exists():
+                    entry["wal"] = self._gen_name(sid, ".wal")
+                    replaced.append(self._root / old_wal)
+                self._wals.pop(sid, None)
+                report = store.tier_report()
+                entry.update(
+                    count=len(store),
+                    crc32=zlib.crc32(blob),
+                    hot_values=report["hot_values"],
+                    cold_values=report["cold_values"],
+                    buffer_values=report["buffer_values"],
+                )
+            self._dirty.clear()
+            self._write_manifest()  # the commit point
+            self._wal_synced = {
+                e["wal"] for e in self._series.values() if "wal" in e
+            }
+            for path in replaced:
+                path.unlink(missing_ok=True)
+            self._evict()  # flushed shards are clean and evictable again
 
     # -- internals ------------------------------------------------------------
 

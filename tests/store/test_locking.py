@@ -1,0 +1,133 @@
+"""One SeriesDB handle shared across threads: the RLock contract.
+
+These tests hammer a single handle from many threads — concurrent ingest
+into disjoint series, mixed readers and writers on the same series, and
+flush/compact racing queries.  Correctness bar: no exceptions escape a
+worker, and every value ingested is accounted for afterwards.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.store import SeriesDB
+
+
+def run_threads(workers):
+    """Run all workers concurrently; re-raise the first worker exception."""
+    errors = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        return runner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_concurrent_ingest_disjoint_series(tmp_path):
+    db = SeriesDB(tmp_path / "db", seal_threshold=64)
+    n_threads, per_batch, batches = 8, 100, 5
+
+    def ingester(tid):
+        def work():
+            values = np.arange(per_batch, dtype=np.int64) + tid
+            for _ in range(batches):
+                db.ingest(f"s{tid}", values)
+
+        return work
+
+    run_threads([ingester(t) for t in range(n_threads)])
+    for tid in range(n_threads):
+        assert db.count(f"s{tid}") == per_batch * batches
+        assert db.access(f"s{tid}", 0) == tid
+
+
+def test_concurrent_append_same_series(tmp_path):
+    """Interleaved appends to one series must serialise, not interleave."""
+    db = SeriesDB(tmp_path / "db", seal_threshold=64)
+    n_threads, batches = 6, 10
+    chunk = np.full(17, 3, dtype=np.int64)
+
+    def work():
+        for _ in range(batches):
+            db.ingest("shared", chunk)
+
+    run_threads([work] * n_threads)
+    assert db.count("shared") == len(chunk) * batches * n_threads
+    assert np.all(db.decompress("shared") == 3)
+
+
+def test_readers_race_writers(tmp_path):
+    db = SeriesDB(tmp_path / "db", seal_threshold=64)
+    db.ingest("hot", np.arange(500, dtype=np.int64))
+    stop = threading.Event()
+
+    def writer():
+        for i in range(20):
+            db.ingest("hot", np.arange(50, dtype=np.int64))
+        stop.set()
+
+    def reader():
+        while not stop.is_set():
+            n = db.count("hot")
+            assert n >= 500
+            assert db.access("hot", 0) == 0
+            got = db.range("hot", 0, min(n, 100))
+            assert len(got) == min(n, 100)
+
+    run_threads([writer, reader, reader, reader])
+    assert db.count("hot") == 500 + 20 * 50
+
+
+def test_flush_and_compact_race_queries(tmp_path):
+    db = SeriesDB(tmp_path / "db", seal_threshold=32)
+    for sid in ("a", "b", "c"):
+        db.ingest(sid, np.arange(300, dtype=np.int64))
+    stop = threading.Event()
+
+    def churner():
+        for i in range(10):
+            db.ingest("a", np.arange(40, dtype=np.int64))
+            db.flush()
+            db.compact()
+        stop.set()
+
+    def reader():
+        while not stop.is_set():
+            for sid in ("a", "b", "c"):
+                assert db.access(sid, 5) == 5
+                assert db.count(sid) >= 300
+
+    run_threads([churner, reader, reader])
+    db.flush()
+    reopened = SeriesDB.open(tmp_path / "db")
+    assert reopened.count("a") == 300 + 10 * 40
+
+
+def test_reentrant_compact_under_lock(tmp_path):
+    """compact() flushes while already holding the lock: RLock, not Lock."""
+    db = SeriesDB(tmp_path / "db", seal_threshold=16)
+    db.ingest("x", np.arange(200, dtype=np.int64))
+    with db._lock:  # a caller composing operations atomically
+        db.compact()
+        assert db.count("x") == 200
+
+
+def test_lock_is_reentrant_type(tmp_path):
+    db = SeriesDB(tmp_path / "db")
+    assert db._lock.acquire(blocking=False)
+    assert db._lock.acquire(blocking=False)  # same thread, second acquire
+    db._lock.release()
+    db._lock.release()
