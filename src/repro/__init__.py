@@ -107,7 +107,20 @@ from .core import (
 from .data import dataset_names, load
 from .store import SeriesDB, compress_many, compress_many_frames
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
+
+# REPRO_SANITIZE=1 turns on the runtime sanitizer for the whole process:
+# mmap/lock instrumentation with a leak report at interpreter exit (see
+# repro.analysis.sanitizer).  Opt-in via environment so production imports
+# carry zero overhead.
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+    "", "0", "false", "off",
+):
+    from .analysis.sanitizer import enable as _sanitizer_enable
+
+    _sanitizer_enable(report_at_exit=True)
 
 # NOTE: "open" is deliberately absent from __all__ — `from repro import *`
 # must not shadow the builtin; use repro.open or open_archive explicitly.

@@ -16,6 +16,19 @@ Two tools live here, both wired into the CLI and CI:
   (manifest <-> shards <-> WAL cross-checks), with ``--deep`` decoding
   every frame.
 
+Two deeper layers extend the linter beyond syntax:
+
+* ``repro lint --dataflow`` (:mod:`repro.analysis.cfg` +
+  :mod:`repro.analysis.dataflow`) — an intraprocedural CFG/escape analysis
+  adding buffer-lifetime (RPR5xx), resource-release (RPR6xx), and
+  lock-order (RPR7xx) rules.
+
+* ``REPRO_SANITIZE=1`` (:mod:`repro.analysis.sanitizer`) — a runtime
+  sanitizer instrumenting ``mmap_view``, archive open/close, and
+  ``SeriesDB._lock`` with a live ledger: use-after-close and lock-order
+  inversions are detected as they happen, and leaked maps are reported at
+  interpreter exit.  CI runs the whole test suite under it.
+
 This subsystem is the correctness gate the ROADMAP's service layer runs
 behind: invariants that were reviewer-checked through PR 5 are
 machine-checked from here on.

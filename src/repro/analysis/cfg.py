@@ -1,0 +1,225 @@
+"""A small intraprocedural control-flow graph over stdlib ``ast``.
+
+The dataflow rules of :mod:`repro.analysis.dataflow` need path questions —
+"is every acquisition *closed on all paths* to the function exit?", "can
+this name be used after ``close()``?" — that a plain AST walk cannot
+answer.  :func:`build_cfg` turns one function body into a statement-level
+graph precise enough for those questions while staying ~200 lines:
+
+* one :class:`CFGNode` per simple statement, plus one per compound-statement
+  *header* (the ``if``/``while``/``for`` test, the ``with`` items, the
+  ``try`` keyword); bodies are recursed into;
+* ``return``/``raise``/``break``/``continue`` edges, with ``return`` and
+  ``raise`` routed **through enclosing ``finally`` blocks** before reaching
+  the synthetic exit node — so a ``close()`` in a ``finally`` counts on the
+  abrupt paths too;
+* every statement inside a ``try`` body gets an *exception edge* (kind
+  ``"exc"``) to each of its handlers, modelling "anything here may raise";
+  analyses can ignore the exception edges leaving a specific node (e.g. an
+  acquisition that failed never needs releasing);
+* loops get back edges; ``break`` jumps to the loop's after-node.
+
+Deliberate approximations (documented so rule authors can rely on them):
+a ``finally`` body is materialised once and serves every path through it,
+so its exits over-approximate (normal continuation *plus* the abrupt
+destinations that were routed through it); ``break``/``continue`` do not
+thread through ``finally`` blocks; nested function/class definitions are
+opaque single statements (they get their own CFGs when the caller iterates
+over them).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+#: edge kinds: normal control flow vs "this statement raised"
+FLOW = "flow"
+EXC = "exc"
+
+
+@dataclass
+class CFGNode:
+    """One statement (or compound-statement header) in the graph."""
+
+    index: int
+    stmt: ast.AST | None  #: ``None`` for the synthetic entry/exit nodes
+    succs: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """The graph: nodes, a synthetic entry (index 0) and exit node."""
+
+    def __init__(self, nodes: list[CFGNode], exit_index: int) -> None:
+        self.nodes = nodes
+        self.entry_index = 0
+        self.exit_index = exit_index
+
+    def nodes_for(self, stmt: ast.AST) -> list[CFGNode]:
+        """Every node whose statement is ``stmt`` (headers match once)."""
+        return [n for n in self.nodes if n.stmt is stmt]
+
+    def reachable(
+        self,
+        start: int,
+        *,
+        avoid: frozenset[int] | set[int] = frozenset(),
+        skip_exc_from: frozenset[int] | set[int] = frozenset(),
+    ) -> set[int]:
+        """Node indices reachable from ``start`` without entering ``avoid``.
+
+        ``start`` itself is not traversed *into* (it is the origin, even if
+        listed in ``avoid``), and exception edges leaving any node in
+        ``skip_exc_from`` are ignored — the idiom for "the acquisition
+        statement itself raising means nothing was acquired".
+        """
+        seen: set[int] = set()
+        stack = [start]
+        while stack:
+            index = stack.pop()
+            for succ, kind in self.nodes[index].succs:
+                if kind == EXC and index in skip_exc_from:
+                    continue
+                if succ in seen or succ in avoid:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return seen
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = [CFGNode(0, None)]  # synthetic entry
+        # Stacks of open contexts, innermost last.
+        self._loops: list[dict] = []  # {"header": idx, "breaks": [idx]}
+        self._finals: list[dict] = []  # {"sources": [idx], "to_exit": bool}
+        self._tries: list[dict] = []  # {"raises": [idx]}
+        self._returns: list[int] = []  # nodes that exit the function
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _new(self, stmt: ast.AST | None, preds: set[int]) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index, stmt))
+        for pred in preds:
+            self.nodes[pred].succs.append((index, FLOW))
+        return index
+
+    def _route_abrupt(self, index: int) -> None:
+        """Send ``index`` (a return-like node) through finallies to the exit."""
+        if self._finals:
+            ctx = self._finals[-1]
+            ctx["sources"].append(index)
+            ctx["to_exit"] = True
+        else:
+            self._returns.append(index)
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def seq(self, stmts: list[ast.stmt], preds: set[int]) -> set[int]:
+        for stmt in stmts:
+            preds = self.stmt(stmt, preds)
+        return preds
+
+    def stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            head = self._new(stmt, preds)
+            body_out = self.seq(stmt.body, {head})
+            else_out = self.seq(stmt.orelse, {head}) if stmt.orelse else {head}
+            return body_out | else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._new(stmt, preds)
+            self._loops.append({"header": head, "breaks": []})
+            body_out = self.seq(stmt.body, {head})
+            for out in body_out:
+                self.nodes[out].succs.append((head, FLOW))
+            loop = self._loops.pop()
+            exits = self.seq(stmt.orelse, {head}) if stmt.orelse else {head}
+            return exits | set(loop["breaks"])
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new(stmt, preds)
+            return self.seq(stmt.body, {head})
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            index = self._new(stmt, preds)
+            self._route_abrupt(index)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            index = self._new(stmt, preds)
+            if self._tries:
+                self._tries[-1]["raises"].append(index)
+            else:
+                self._route_abrupt(index)
+            return set()
+        if isinstance(stmt, ast.Break):
+            index = self._new(stmt, preds)
+            if self._loops:
+                self._loops[-1]["breaks"].append(index)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            index = self._new(stmt, preds)
+            if self._loops:
+                self.nodes[index].succs.append((self._loops[-1]["header"], FLOW))
+            return set()
+        # Simple statement (including nested def/class, kept opaque).
+        return {self._new(stmt, preds)}
+
+    def _try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        if stmt.finalbody:
+            self._finals.append({"sources": [], "to_exit": False})
+        body_start = len(self.nodes)
+        if stmt.handlers:
+            self._tries.append({"raises": []})
+        body_out = self.seq(stmt.body, preds)
+        body_nodes = list(range(body_start, len(self.nodes)))
+        handler_outs: set[int] = set()
+        if stmt.handlers:
+            try_ctx = self._tries.pop()
+            for handler in stmt.handlers:
+                entry = len(self.nodes)
+                handler_outs |= self.seq(handler.body, set())
+                # Anything in the body (or an explicit raise) may land here.
+                for src in body_nodes:
+                    self.nodes[src].succs.append((entry, EXC))
+                for src in try_ctx["raises"]:
+                    self.nodes[src].succs.append((entry, FLOW))
+        else_out = self.seq(stmt.orelse, body_out) if stmt.orelse else body_out
+        merged = else_out | handler_outs
+        if not stmt.finalbody:
+            return merged
+        ctx = self._finals.pop()
+        fin_start = len(self.nodes)
+        fin_out = self.seq(stmt.finalbody, merged)
+        for src in ctx["sources"]:
+            self.nodes[src].succs.append((fin_start, FLOW))
+        if ctx["to_exit"]:
+            # The finally also forwards return/raise paths out of the function.
+            for out in fin_out:
+                self._route_abrupt_passthrough(out)
+        return fin_out
+
+    def _route_abrupt_passthrough(self, index: int) -> None:
+        if self._finals:
+            ctx = self._finals[-1]
+            ctx["sources"].append(index)
+            ctx["to_exit"] = True
+        else:
+            self._returns.append(index)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The CFG of one function body (synthetic entry 0, synthetic exit last)."""
+    builder = _Builder()
+    live = builder.seq(func.body, {0})
+    exit_index = len(builder.nodes)
+    builder.nodes.append(CFGNode(exit_index, None))
+    for pred in live | set(builder._returns):
+        builder.nodes[pred].succs.append((exit_index, FLOW))
+    return CFG(builder.nodes, exit_index)

@@ -83,13 +83,17 @@ def run_lint(
     *,
     check_registry: bool = True,
     baseline: Baseline | None = None,
+    dataflow: bool = False,
 ) -> list[Finding]:
     """Lint ``paths`` (default: the repro package) and return all findings.
 
     ``check_registry`` gates the RPR002 live-registry cross-check (tests
-    linting fixture trees turn it off — fixtures register nothing).  When a
-    ``baseline`` is given, grandfathered findings come back flagged
-    ``baselined``; the caller decides whether those fail the run.
+    linting fixture trees turn it off — fixtures register nothing).
+    ``dataflow`` additionally runs the CFG-based RPR5xx/6xx/7xx rules of
+    :mod:`repro.analysis.dataflow` (buffer lifetime, resource release,
+    lock order).  When a ``baseline`` is given, grandfathered findings come
+    back flagged ``baselined``; the caller decides whether those fail the
+    run.
     """
     root, files = lint_paths(paths)
     modules, findings = _parse(root, files)
@@ -98,6 +102,12 @@ def run_lint(
     findings.extend(check_protocol_conformance(modules))
     if check_registry:
         findings.extend(check_registry_specs(modules))
+    if dataflow:
+        from .dataflow import check_lock_order, run_dataflow_rules
+
+        for module in modules:
+            findings.extend(run_dataflow_rules(module))
+        findings.extend(check_lock_order(modules))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     if baseline is not None:
         findings = apply_baseline(findings, baseline)

@@ -104,6 +104,34 @@ RULE_CATALOGUE: dict[str, tuple[str, str]] = {
         "no writing through memoryview-backed (np.frombuffer) arrays",
         "copy() the array before mutating it",
     ),
+    # Dataflow rules (repro lint --dataflow), implemented in dataflow.py.
+    "RPR501": (
+        "a memoryview derived from mmap_view must not escape without its "
+        "owning map",
+        "return bytes(view), the root view, or the map alongside it",
+    ),
+    "RPR502": (
+        "a derived mmap view stashed on self needs its root/map stashed too",
+        "store the root view (or view.obj) on self so it can be closed",
+    ),
+    "RPR601": (
+        "acquired resources (open/os.open/os.fdopen/mmap.mmap) must be "
+        "closed or handed off on every path",
+        "use `with ...:` or close in a finally",
+    ),
+    "RPR602": (
+        "no use of a local on a path after its .close()",
+        "reorder the use before close(), or rebind the name",
+    ),
+    "RPR701": (
+        "lock acquisition order must be globally consistent (no A->B with "
+        "B->A elsewhere)",
+        "pick one global acquisition order and stick to it",
+    ),
+    "RPR702": (
+        "no bare lock.acquire() without release() in a finally",
+        "use `with lock:`",
+    ),
 }
 
 # -- RPR101 / RPR102: binary-format discipline ---------------------------------

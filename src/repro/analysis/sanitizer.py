@@ -1,0 +1,301 @@
+"""Runtime sanitizer: live mmap/lock instrumentation behind ``REPRO_SANITIZE``.
+
+The static rules of :mod:`repro.analysis.dataflow` prove what they can see;
+this module watches what actually happens.  With ``REPRO_SANITIZE=1`` in
+the environment, importing :mod:`repro` calls :func:`enable`, which
+monkeypatches three chokepoints:
+
+* :func:`repro.codecs.container.mmap_view` — every map created is entered
+  into the ledger (with the path and the creating stack), and removed when
+  it is closed or garbage-collected.  Maps still open *and* still
+  referenced at interpreter exit are the leak report.
+* :meth:`repro.codecs.container.Archive._check_open` — a post-close access
+  (the ``ValueError`` the archive raises in the caller's face) is also
+  recorded, so a test run shows *where* use-after-close happens even when
+  every caller swallows the exception.
+* :meth:`repro.store.seriesdb.SeriesDB.__init__` — ``self._lock`` is
+  replaced with a :class:`SanitizedLock` that maintains a per-thread stack
+  of held locks and a global acquisition-order graph: acquiring B while
+  holding A when some other thread ever acquired A while holding B is a
+  lock-order inversion, recorded the moment it happens.
+
+The verdict (:meth:`Ledger.report`): ``leaks`` (live unclosed maps after a
+``gc.collect()``) and ``inversions`` fail a sanitized run; ``caught``
+use-after-close events are informational — the archive already raised, so
+the caller was told — but carry the location for debugging.  CI runs the
+whole test suite under ``REPRO_SANITIZE=1`` and then asserts the global
+ledger is clean.
+
+Instrumentation is all patch-on-enable / restore-on-disable: nothing in
+the production modules imports this one, so the hot paths carry zero
+sanitizer cost when it is off.  Tests pass their own :class:`Ledger` to
+:func:`enable` so deliberate violations don't dirty the global one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import sys
+import threading
+import traceback
+import weakref
+
+__all__ = ["Ledger", "SanitizedLock", "enable", "disable", "active_ledger"]
+
+_STACK_DEPTH = 6  # frames of context kept per recorded event
+
+
+def _stack_summary(skip: int = 2) -> list[str]:
+    """The creating call stack, innermost last, repo frames only."""
+    frames = traceback.extract_stack()[:-skip]
+    return [
+        f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+        for frame in frames[-_STACK_DEPTH:]
+    ]
+
+
+class Ledger:
+    """The sanitizer's account book: live maps, lock stacks, violations."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._maps: dict[int, dict] = {}  # id(weakref) -> record
+        self._held = threading.local()  # per-thread stack of lock names
+        self._edges: dict[tuple[str, str], list[str]] = {}  # A->B : stack
+        self.inversions: list[dict] = []
+        self.caught: list[dict] = []  # defended use-after-close events
+
+    # -- mmap accounting -------------------------------------------------------
+
+    def record_map(self, mapped, path) -> None:
+        """Track a live map; it drops off the ledger when collected."""
+
+        def _gone(ref, ledger=self):
+            with ledger._mutex:
+                ledger._maps.pop(id(ref), None)
+
+        ref = weakref.ref(mapped, _gone)
+        with self._mutex:
+            self._maps[id(ref)] = {
+                "ref": ref,
+                "path": str(path),
+                "stack": _stack_summary(skip=3),
+            }
+
+    def live_maps(self) -> list[dict]:
+        """Maps still referenced and not closed (collects garbage first)."""
+        gc.collect()
+        leaks = []
+        with self._mutex:
+            records = list(self._maps.values())
+        for record in records:
+            mapped = record["ref"]()
+            if mapped is not None and not mapped.closed:
+                leaks.append({"path": record["path"], "stack": record["stack"]})
+        return leaks
+
+    # -- use-after-close -------------------------------------------------------
+
+    def record_use_after_close(self, path) -> None:
+        with self._mutex:
+            self.caught.append({
+                "path": str(path),
+                "stack": _stack_summary(skip=3),
+            })
+
+    # -- lock ordering ---------------------------------------------------------
+
+    def _stack_of(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        """Called with the lock *held*: update the order graph, flag cycles."""
+        held = self._stack_of()
+        outers = [h for h in held if h != name]  # re-entrant A->A is fine
+        held.append(name)
+        if not outers:
+            return
+        with self._mutex:
+            for outer in outers:
+                edge = (outer, name)
+                if edge not in self._edges:
+                    self._edges[edge] = _stack_summary(skip=3)
+                reverse = self._edges.get((name, outer))
+                if reverse is not None:
+                    self.inversions.append({
+                        "edge": f"{outer} -> {name}",
+                        "reverse": f"{name} -> {outer}",
+                        "stack": _stack_summary(skip=3),
+                        "reverse_stack": reverse,
+                    })
+
+    def note_release(self, name: str) -> None:
+        held = self._stack_of()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    # -- the verdict -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """Everything the sanitizer saw; ``clean`` is the pass/fail bit."""
+        leaks = self.live_maps()
+        with self._mutex:
+            inversions = list(self.inversions)
+            caught = list(self.caught)
+        return {
+            "clean": not leaks and not inversions,
+            "leaks": leaks,
+            "inversions": inversions,
+            "caught_use_after_close": caught,
+        }
+
+    def render(self) -> str:
+        report = self.report()
+        lines = []
+        for leak in report["leaks"]:
+            lines.append(f"LEAKED MAP {leak['path']}")
+            lines.extend(f"    {frame}" for frame in leak["stack"])
+        for inv in report["inversions"]:
+            lines.append(
+                f"LOCK-ORDER INVERSION {inv['edge']} vs {inv['reverse']}"
+            )
+            lines.extend(f"    {frame}" for frame in inv["stack"])
+        if report["caught_use_after_close"]:
+            lines.append(
+                f"(defended) use-after-close x"
+                f"{len(report['caught_use_after_close'])}"
+            )
+        if not lines:
+            return "repro sanitizer: clean"
+        status = "CLEAN" if report["clean"] else "VIOLATIONS"
+        return "\n".join([f"repro sanitizer: {status}"] + lines)
+
+
+class SanitizedLock:
+    """An RLock stand-in that narrates acquire/release to a :class:`Ledger`.
+
+    Drop-in for the ``with self._lock:`` discipline the linter enforces:
+    re-entrant, context-managed, with explicit ``acquire``/``release`` for
+    completeness.  Lock identity (for the order graph) is the ``name``
+    given at construction, e.g. ``"SeriesDB._lock@/path/to/db"``.
+    """
+
+    def __init__(self, name: str, ledger: Ledger) -> None:
+        self.name = name
+        self._ledger = ledger
+        self._inner = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._ledger.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._ledger.note_release(self.name)
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+# -- enable / disable ----------------------------------------------------------
+
+_active: Ledger | None = None
+_saved: dict[str, object] = {}
+_atexit_registered = False
+
+
+def active_ledger() -> Ledger | None:
+    """The ledger currently receiving events, or None when disabled."""
+    return _active
+
+
+def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Ledger:
+    """Instrument mmap_view, archive close checks, and SeriesDB locks.
+
+    Idempotent per process: re-enabling swaps the target ledger without
+    double-patching.  Returns the ledger in effect.
+    """
+    global _active, _atexit_registered
+    if _active is not None:
+        _active = ledger or _active
+        return _active
+    _active = ledger or Ledger()
+
+    from ..codecs import container
+    from ..store import seriesdb
+
+    _saved["mmap_view"] = container.mmap_view
+    _saved["seriesdb_mmap_view"] = seriesdb.mmap_view
+    _saved["check_open"] = container.Archive._check_open
+    _saved["db_init"] = seriesdb.SeriesDB.__init__
+
+    original_view = container.mmap_view
+
+    def traced_mmap_view(path):
+        view = original_view(path)
+        if view is not None and _active is not None:
+            _active.record_map(view.obj, path)
+        return view
+
+    original_check = container.Archive._check_open
+
+    def traced_check_open(self):
+        try:
+            original_check(self)
+        except ValueError:
+            if _active is not None:
+                _active.record_use_after_close(self.path)
+            raise
+
+    original_init = seriesdb.SeriesDB.__init__
+
+    def traced_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        if _active is not None:
+            name = f"SeriesDB._lock@{getattr(self, '_root', '?')}"
+            self._lock = SanitizedLock(name, _active)
+
+    container.mmap_view = traced_mmap_view
+    # seriesdb imported the function by name; patch its reference too.
+    seriesdb.mmap_view = traced_mmap_view
+    container.Archive._check_open = traced_check_open
+    seriesdb.SeriesDB.__init__ = traced_init
+
+    if report_at_exit and not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(_report_at_exit)
+    return _active
+
+
+def disable() -> None:
+    """Restore the unpatched functions and detach the ledger."""
+    global _active
+    if _active is None:
+        return
+    from ..codecs import container
+    from ..store import seriesdb
+
+    container.mmap_view = _saved.pop("mmap_view")
+    seriesdb.mmap_view = _saved.pop("seriesdb_mmap_view")
+    container.Archive._check_open = _saved.pop("check_open")
+    seriesdb.SeriesDB.__init__ = _saved.pop("db_init")
+    _active = None
+
+
+def _report_at_exit() -> None:
+    ledger = _active
+    if ledger is None:
+        return
+    print(ledger.render(), file=sys.stderr)

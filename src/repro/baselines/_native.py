@@ -30,6 +30,21 @@ import numpy as np
 from ..bits import BitVector, PackedArray
 
 __all__ = [
+    "INT64",
+    "INT64_PAIR",
+    "INT64_TRIPLE",
+    "UINT32",
+    "FLOAT64",
+    "AA_HDR",
+    "ALP_HDR",
+    "ALP_BLOCK",
+    "DAC_HDR",
+    "DAC_LEVEL",
+    "LECO_HDR",
+    "LECO_BLOCK",
+    "LOSSY_HDR",
+    "NEATS_HDR",
+    "TSI64_HDR",
     "pack_packed_array",
     "unpack_packed_array",
     "pack_bitvector",
@@ -44,6 +59,27 @@ __all__ = [
 _PACKED_HDR = struct.Struct("<Bqq")  # width, length, nwords
 _BV_HDR = struct.Struct("<qq")  # length, nwords
 _SEG_HDR = struct.Struct("<qqB")  # start, end, n_params
+
+# Primitive little-endian layouts shared by every native payload.  The
+# linter confines raw ``struct`` to this module (rule RPR102): codecs name
+# their fields here instead of scattering format strings.
+INT64 = struct.Struct("<q")
+INT64_PAIR = struct.Struct("<qq")
+INT64_TRIPLE = struct.Struct("<qqq")  # blockwise directory: n, block, count
+UINT32 = struct.Struct("<I")
+FLOAT64 = struct.Struct("<d")
+
+# Per-codec native payload headers (field meanings in each codec module).
+AA_HDR = struct.Struct("<qdI")  # n, eps, n_segments
+ALP_HDR = struct.Struct("<qdq")  # n, scale, number of integer patches
+ALP_BLOCK = struct.Struct("<BBqqq")  # e, f, base, count, exception count
+DAC_HDR = struct.Struct("<qB")  # n, number of levels
+DAC_LEVEL = struct.Struct("<BB")  # chunk width, has-bitmap flag
+LECO_HDR = struct.Struct("<qq")  # n, number of blocks
+LECO_BLOCK = struct.Struct("<qddq")  # start, slope, intercept, base
+LOSSY_HDR = struct.Struct("<qqdI")  # n, shift, eps, n_segments/fragments
+NEATS_HDR = struct.Struct("<qqqqB")  # n, m, shift, name_len, has_bv
+TSI64_HDR = struct.Struct("<qi")  # value count, decimal digits
 
 
 def read_words(view, pos: int, nwords: int, what: str) -> tuple[np.ndarray, int]:

@@ -21,18 +21,21 @@ why AA's MAPE is slightly *better* than NeaTS-L's (§IV-B).
 from __future__ import annotations
 
 import math
-import struct
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.partition import FRAGMENT_OVERHEAD_BITS, PARAM_BITS
-from ._native import pack_name, pack_segment, unpack_name, unpack_segment
+from ._native import (
+    AA_HDR as _PAYLOAD_HDR,
+    pack_name,
+    pack_segment,
+    unpack_name,
+    unpack_segment,
+)
 from .base import LossyCompressed, LossyCompressor
 
 __all__ = ["AaCompressor", "AaSeries", "AaSegment"]
-
-_PAYLOAD_HDR = struct.Struct("<qdI")  # n, eps, n_segments
 
 _FAMILIES = ("linear", "quadratic", "exponential")
 

@@ -16,12 +16,17 @@ the int64 round-trip exact as well.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from ..bits.packed import PackedArray, min_width
-from ._native import pack_packed_array, unpack_packed_array
+from ._native import (
+    ALP_BLOCK as _ALP_BLOCK,
+    ALP_HDR as _ALP_HDR,
+    INT64,
+    INT64_PAIR,
+    pack_packed_array,
+    unpack_packed_array,
+)
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["AlpCompressor"]
@@ -30,9 +35,6 @@ _BLOCK = 1024
 _MAX_E = 14
 _POW10 = np.power(10.0, np.arange(_MAX_E + 1))
 _SAMPLE = 32
-
-_ALP_HDR = struct.Struct("<qdq")  # n, scale, number of integer patches
-_ALP_BLOCK = struct.Struct("<BBqqq")  # e, f, base, count, exception count
 
 
 def _try_pair(xs: np.ndarray, e: int, f: int) -> np.ndarray | None:
@@ -161,8 +163,8 @@ class _AlpCompressed(Compressed):
         exceptions, plus the integer-level patches."""
         parts = [_ALP_HDR.pack(self._n, self._scale, len(self._patches))]
         for pos_, value in sorted(self._patches.items()):
-            parts.append(struct.pack("<qq", pos_, value))
-        parts.append(struct.pack("<q", len(self._blocks)))
+            parts.append(INT64_PAIR.pack(pos_, value))
+        parts.append(INT64.pack(len(self._blocks)))
         for b in self._blocks:
             parts.append(
                 _ALP_BLOCK.pack(b.e, b.f, b.base, b.count, len(b.exc_pos))
@@ -187,10 +189,10 @@ class _AlpCompressed(Compressed):
             raise ValueError("corrupt ALP payload: truncated patch table")
         patches = {}
         for _ in range(npatches):
-            k, value = struct.unpack_from("<qq", view, pos)
+            k, value = INT64_PAIR.unpack_from(view, pos)
             pos += 16
             patches[k] = value
-        (nblocks,) = struct.unpack_from("<q", view, pos)
+        (nblocks,) = INT64.unpack_from(view, pos)
         pos += 8
         if nblocks < 1:
             raise ValueError(f"corrupt ALP payload: {nblocks} blocks")

@@ -10,11 +10,11 @@ covering blocks.
 
 from __future__ import annotations
 
-import struct
 from collections.abc import Callable
 
 import numpy as np
 
+from ._native import INT64, INT64_TRIPLE
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["BlockwiseCompressed", "ByteCompressor", "BlockwiseCompressor"]
@@ -95,9 +95,9 @@ class BlockwiseCompressed(Compressed):
 
     def to_payload(self) -> bytes:
         """Native frame payload: the compressed blocks, length-prefixed."""
-        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        parts = [INT64_TRIPLE.pack(self._n, self._block_size, len(self._blocks))]
         for block in self._blocks:
-            parts.append(struct.pack("<q", len(block)))
+            parts.append(INT64.pack(len(block)))
             parts.append(block)
         return b"".join(parts)
 
@@ -106,13 +106,13 @@ class BlockwiseCompressed(Compressed):
         """Rebuild from :meth:`to_payload` output plus the byte codec."""
         if len(payload) < 24:
             raise ValueError("corrupt block-wise payload: header incomplete")
-        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        n, block_size, nblocks = INT64_TRIPLE.unpack_from(payload)
         pos = 24
         blocks: list[bytes] = []
         for _ in range(nblocks):
             if pos + 8 > len(payload):
                 raise ValueError("corrupt block-wise payload: truncated block")
-            (length,) = struct.unpack_from("<q", payload, pos)
+            (length,) = INT64.unpack_from(payload, pos)
             pos += 8
             if length < 0 or pos + length > len(payload):
                 raise ValueError("corrupt block-wise payload: bad block length")

@@ -13,12 +13,12 @@ Level widths are chosen with the optimal dynamic program from the DAC paper
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from ..bits import BitVector, PackedArray
 from ._native import (
+    DAC_HDR as _DAC_HDR,
+    DAC_LEVEL as _LEVEL_HDR,
     pack_bitvector,
     pack_packed_array,
     unpack_bitvector,
@@ -29,9 +29,6 @@ from .base import Compressed, LosslessCompressor
 __all__ = ["DacCompressor", "optimal_level_widths"]
 
 _MAX_WIDTH = 64
-_DAC_HDR = struct.Struct("<qB")  # n, number of levels
-_LEVEL_HDR = struct.Struct("<BB")  # chunk width, has-bitmap flag
-
 
 def optimal_level_widths(bit_lengths: np.ndarray, max_levels: int = 8) -> list[int]:
     """Optimal chunk widths per level for the given value bit lengths.

@@ -16,11 +16,10 @@ the block-wise adapter like all XOR compressors (§IV-A2).
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from ..bits import BitReader, BitWriter
+from ._native import INT64_TRIPLE
 from .base import Compressed, LosslessCompressor
 from .blockwise import DEFAULT_BLOCK
 
@@ -139,10 +138,10 @@ class _XorBlockCompressed(Compressed):
 
     def to_payload(self) -> bytes:
         """Native frame payload: per-block XOR bit streams."""
-        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        parts = [INT64_TRIPLE.pack(self._n, self._block_size, len(self._blocks))]
         for words, bit_length, count in self._blocks:
             words = np.ascontiguousarray(words, dtype=np.uint64)
-            parts.append(struct.pack("<qqq", count, bit_length, len(words)))
+            parts.append(INT64_TRIPLE.pack(count, bit_length, len(words)))
             parts.append(words.tobytes())
         return b"".join(parts)
 
@@ -155,13 +154,13 @@ class _XorBlockCompressed(Compressed):
         """
         if len(payload) < 24:
             raise ValueError("corrupt XOR payload: header incomplete")
-        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        n, block_size, nblocks = INT64_TRIPLE.unpack_from(payload)
         pos = 24
         blocks = []
         for _ in range(nblocks):
             if pos + 24 > len(payload):
                 raise ValueError("corrupt XOR payload: truncated block header")
-            count, bit_length, nwords = struct.unpack_from("<qqq", payload, pos)
+            count, bit_length, nwords = INT64_TRIPLE.unpack_from(payload, pos)
             pos += 24
             end = pos + 8 * nwords
             if nwords < 0 or end > len(payload):

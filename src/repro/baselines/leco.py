@@ -16,22 +16,22 @@ fetch (matching LeCo's own layout).
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from ..bits import EliasFano
 from ..bits.packed import PackedArray, min_width
-from ._native import pack_packed_array, unpack_packed_array
+from ._native import (
+    LECO_BLOCK as _LECO_BLOCK,
+    LECO_HDR as _LECO_HDR,
+    pack_packed_array,
+    unpack_packed_array,
+)
 from .base import Compressed, LosslessCompressor
 
 __all__ = ["LeCoCompressor"]
 
 _INITIAL_BLOCK = 128
 _BLOCK_OVERHEAD_BITS = 2 * 64 + 64 + 8 + 32  # slope, intercept, base, width, start
-_LECO_HDR = struct.Struct("<qq")  # n, number of blocks
-_LECO_BLOCK = struct.Struct("<qddq")  # start, slope, intercept, base
-
 
 def _fit_block(values: np.ndarray) -> tuple[float, float, np.ndarray]:
     """Least-squares line over positions 0..len-1; returns residuals too."""

@@ -15,19 +15,15 @@ reproduces the exact approximation without re-fitting.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from ..core.models import FragmentFit, get_model
 from ..core.partition import FRAGMENT_OVERHEAD_BITS, PARAM_BITS
 from ..core.piecewise import piecewise_approximation
-from ._native import pack_segment, unpack_segment
+from ._native import LOSSY_HDR as _PAYLOAD_HDR, pack_segment, unpack_segment
 from .base import LossyCompressed, LossyCompressor
 
 __all__ = ["PlaCompressor", "PlaSeries"]
-
-_PAYLOAD_HDR = struct.Struct("<qqdI")  # n, shift, eps, n_segments
 
 
 class PlaSeries(LossyCompressed):

@@ -15,10 +15,9 @@ original paper; the window scan is vectorised here with numpy.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
+from ._native import INT64_PAIR, INT64_TRIPLE
 from .base import Compressed, LosslessCompressor
 from .blockwise import DEFAULT_BLOCK
 
@@ -155,9 +154,9 @@ class _TSXorCompressed(Compressed):
 
     def to_payload(self) -> bytes:
         """Native frame payload: the byte-aligned TSXor streams per block."""
-        parts = [struct.pack("<qqq", self._n, self._block_size, len(self._blocks))]
+        parts = [INT64_TRIPLE.pack(self._n, self._block_size, len(self._blocks))]
         for blob, count in self._blocks:
-            parts.append(struct.pack("<qq", count, len(blob)))
+            parts.append(INT64_PAIR.pack(count, len(blob)))
             parts.append(blob)
         return b"".join(parts)
 
@@ -166,13 +165,13 @@ class _TSXorCompressed(Compressed):
         """Rebuild from :meth:`to_payload` output (no context needed)."""
         if len(payload) < 24:
             raise ValueError("corrupt TSXor payload: header incomplete")
-        n, block_size, nblocks = struct.unpack_from("<qqq", payload)
+        n, block_size, nblocks = INT64_TRIPLE.unpack_from(payload)
         pos = 24
         blocks = []
         for _ in range(nblocks):
             if pos + 16 > len(payload):
                 raise ValueError("corrupt TSXor payload: truncated block header")
-            count, length = struct.unpack_from("<qq", payload, pos)
+            count, length = INT64_PAIR.unpack_from(payload, pos)
             pos += 16
             if length < 0 or pos + length > len(payload):
                 raise ValueError("corrupt TSXor payload: bad block length")

@@ -184,56 +184,60 @@ def _cmd_codecs(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
-    archive = open_archive(Path(args.input))
-    values = archive.decompress()
-    write_csv(args.output, values, archive.digits)
+    with open_archive(Path(args.input)) as archive:
+        values = archive.decompress()
+        digits = archive.digits
+    write_csv(args.output, values, digits)
     print(f"restored {len(values):,} values to {args.output}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    archive = open_archive(Path(args.input), lazy=args.lazy)
-    compressed = archive.compressed
-    print(f"codec:         {archive.codec_id}")
-    if archive.params:
-        shown = ", ".join(f"{k}={v}" for k, v in sorted(archive.params.items()))
-        print(f"codec params:  {shown}")
-    runs = getattr(compressed, "num_runs", None)
-    if runs is not None:
-        print(f"append runs:   {runs} (appendable archive)")
-        if compressed.truncated_bytes:
-            print(f"torn tail:     {compressed.truncated_bytes:,} bytes of a "
-                  "crash-truncated record ignored")
-    print(f"values:        {len(archive):,}")
-    print(f"decimal digits: {archive.digits}")
-    if archive.codec_id and codec_spec(archive.codec_id).lossy:
-        eps = archive.params.get("eps")
-        shown = "?" if eps is None else f"{eps / 10**archive.digits:g}"
-        print(f"lossy:         yes (guaranteed max error {shown})")
-    if len(archive):
-        print(f"size:          {archive.size_bytes():,} bytes "
-              f"({100 * archive.compression_ratio():.2f}% of raw)")
-    else:
-        print("size:          0 bytes (no records appended yet)")
-    storage = getattr(compressed, "storage", None)
-    if storage is not None:
-        print(f"fragments:     {storage.m:,}")
-        print(f"model kinds:   {', '.join(storage.model_names)}")
-        print(f"rank mode:     {storage.rank_mode}")
-        widths = storage._widths_list
-        print(f"correction widths: min {min(widths)} / max {max(widths)} bits")
+    with open_archive(Path(args.input), lazy=args.lazy) as archive:
+        compressed = archive.compressed
+        print(f"codec:         {archive.codec_id}")
+        if archive.params:
+            shown = ", ".join(
+                f"{k}={v}" for k, v in sorted(archive.params.items())
+            )
+            print(f"codec params:  {shown}")
+        runs = getattr(compressed, "num_runs", None)
+        if runs is not None:
+            print(f"append runs:   {runs} (appendable archive)")
+            if compressed.truncated_bytes:
+                print(f"torn tail:     {compressed.truncated_bytes:,} bytes "
+                      "of a crash-truncated record ignored")
+        print(f"values:        {len(archive):,}")
+        print(f"decimal digits: {archive.digits}")
+        if archive.codec_id and codec_spec(archive.codec_id).lossy:
+            eps = archive.params.get("eps")
+            shown = "?" if eps is None else f"{eps / 10**archive.digits:g}"
+            print(f"lossy:         yes (guaranteed max error {shown})")
+        if len(archive):
+            print(f"size:          {archive.size_bytes():,} bytes "
+                  f"({100 * archive.compression_ratio():.2f}% of raw)")
+        else:
+            print("size:          0 bytes (no records appended yet)")
+        storage = getattr(compressed, "storage", None)
+        if storage is not None:
+            print(f"fragments:     {storage.m:,}")
+            print(f"model kinds:   {', '.join(storage.model_names)}")
+            print(f"rank mode:     {storage.rank_mode}")
+            widths = storage._widths_list
+            print(f"correction widths: min {min(widths)} / max {max(widths)} "
+                  "bits")
     return 0
 
 
 def _cmd_access(args) -> int:
-    archive = open_archive(Path(args.input), lazy=args.lazy)
-    n = len(archive)
-    for k in args.positions:
-        if not 0 <= k < n:
-            print(f"position {k}: out of range [0, {n})", file=sys.stderr)
-            return 1
-        value = archive.access(k)
-        print(f"[{k}] {value / 10**archive.digits:.{archive.digits}f}")
+    with open_archive(Path(args.input), lazy=args.lazy) as archive:
+        n = len(archive)
+        for k in args.positions:
+            if not 0 <= k < n:
+                print(f"position {k}: out of range [0, {n})", file=sys.stderr)
+                return 1
+            value = archive.access(k)
+            print(f"[{k}] {value / 10**archive.digits:.{archive.digits}f}")
     return 0
 
 
@@ -290,7 +294,9 @@ def _cmd_lint(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    findings = run_lint(args.paths or None, baseline=baseline)
+    findings = run_lint(
+        args.paths or None, baseline=baseline, dataflow=args.dataflow,
+    )
     if args.update_baseline:
         Baseline.from_findings(findings).save(baseline_path)
         print(f"baselined {len(findings)} finding(s) into {baseline_path}")
@@ -382,10 +388,12 @@ def _cmd_db_ingest(args) -> int:
         name: read_csv(path, args.digits)
         for name, path in zip(names, args.inputs)
     }
-    db = SeriesDB.open(args.root)
     t0 = time.perf_counter()
-    counts = db.ingest_many(series_map, workers=args.workers, digits=args.digits)
-    db.flush()
+    with SeriesDB.open(args.root) as db:
+        counts = db.ingest_many(
+            series_map, workers=args.workers, digits=args.digits,
+        )
+        db.flush()
     elapsed = time.perf_counter() - t0
     total = sum(len(v) for v in series_map.values())
     for name, count in counts.items():
@@ -398,39 +406,43 @@ def _cmd_db_ingest(args) -> int:
 def _cmd_db_query(args) -> int:
     from .store import SeriesDB
 
-    db = SeriesDB.open(args.root, lazy=args.lazy)
-    if args.sid not in db:
-        known = ", ".join(db.series_ids()) or "(none)"
-        print(f"unknown series {args.sid!r}; known: {known}", file=sys.stderr)
-        return 1
-    # The manifest records each series' decimal scaling at ingest time, so
-    # queries need no flag; --digits still overrides for display.
-    digits = db.digits(args.sid) if args.digits is None else args.digits
-    scale = 10**digits
-    n = db.count(args.sid)
-    if args.at is not None:
-        for k in args.at:
-            if not 0 <= k < n:
-                print(f"position {k}: out of range [0, {n})", file=sys.stderr)
-                return 1
-            print(f"{args.sid}[{k}] {db.access(args.sid, k) / scale:.{digits}f}")
-    elif args.range is not None:
-        lo, hi = args.range
-        if not 0 <= lo <= hi <= n:
-            print(f"range [{lo}, {hi}): out of range [0, {n})", file=sys.stderr)
+    with SeriesDB.open(args.root, lazy=args.lazy) as db:
+        if args.sid not in db:
+            known = ", ".join(db.series_ids()) or "(none)"
+            print(f"unknown series {args.sid!r}; known: {known}",
+                  file=sys.stderr)
             return 1
-        for v in db.range(args.sid, lo, hi):
-            print(f"{v / scale:.{digits}f}")
-    else:
-        print(f"{args.sid}: {n:,} values")
+        # The manifest records each series' decimal scaling at ingest time,
+        # so queries need no flag; --digits still overrides for display.
+        digits = db.digits(args.sid) if args.digits is None else args.digits
+        scale = 10**digits
+        n = db.count(args.sid)
+        if args.at is not None:
+            for k in args.at:
+                if not 0 <= k < n:
+                    print(f"position {k}: out of range [0, {n})",
+                          file=sys.stderr)
+                    return 1
+                print(f"{args.sid}[{k}] "
+                      f"{db.access(args.sid, k) / scale:.{digits}f}")
+        elif args.range is not None:
+            lo, hi = args.range
+            if not 0 <= lo <= hi <= n:
+                print(f"range [{lo}, {hi}): out of range [0, {n})",
+                      file=sys.stderr)
+                return 1
+            for v in db.range(args.sid, lo, hi):
+                print(f"{v / scale:.{digits}f}")
+        else:
+            print(f"{args.sid}: {n:,} values")
     return 0
 
 
 def _cmd_db_compact(args) -> int:
     from .store import SeriesDB
 
-    db = SeriesDB.open(args.root)
-    compacted = db.compact(hot_threshold=args.hot_threshold)
+    with SeriesDB.open(args.root) as db:
+        compacted = db.compact(hot_threshold=args.hot_threshold)
     if compacted:
         print(f"compacted {len(compacted)} shard(s): {', '.join(compacted)}")
     else:
@@ -441,7 +453,8 @@ def _cmd_db_compact(args) -> int:
 def _cmd_db_info(args) -> int:
     from .store import SeriesDB
 
-    info = SeriesDB.open(args.root).info()
+    with SeriesDB.open(args.root) as db:
+        info = db.info()
     print(f"root:           {info['root']}")
     print(f"hot codec:      {info['hot_codec']}")
     print(f"cold codec:     {info['cold_codec']}")
@@ -604,6 +617,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="rewrite the baseline to accept all current findings")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--dataflow", action="store_true",
+                   help="also run the CFG-based RPR5xx/6xx/7xx rules "
+                        "(buffer lifetime, resource release, lock order)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable findings for tooling")
     p.set_defaults(func=_cmd_lint)

@@ -159,19 +159,61 @@ class Archive:
         self.params = {} if params is None else params
         self.path = path
         self._values: np.ndarray | None = None
+        self._closed = False
 
     @property
     def compressed(self) -> Compressed:
         """The compressed series (parsed on first access when lazy)."""
+        self._check_open()
         if self._compressed is None:
             self._compressed = self._materialise()
         return self._compressed
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; every decode raises from then on."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the archive's backing resources (idempotent).
+
+        Eager archives drop their parsed payload and cached values; lazy
+        archives additionally release the memory map.  Arrays already
+        decoded (or adopted zero-copy) before the close stay valid — numpy
+        arrays parsed off the map hold their own buffer reference, so the
+        map pages are unmapped only when the last such array dies.  Any
+        *archive* operation after close raises ``ValueError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        compressed, self._compressed = self._compressed, None
+        self._values = None
+        close = getattr(compressed, "close", None)
+        if callable(close):
+            close()
+        self._release()
+
+    def __enter__(self) -> "Archive":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"{self.path}: archive is closed")
+
     def _materialise(self) -> Compressed:
         raise ValueError("archive holds no compressed payload")
 
+    def _release(self) -> None:
+        """Resource hook: lazy archives unmap here."""
+
     def _verify(self) -> None:
         """Integrity hook: lazy archives crc-check here, once."""
+        self._check_open()
 
     def decompress(self) -> np.ndarray:
         """The original int64 values."""
@@ -237,16 +279,19 @@ class _LazyArchive(Archive):
             params=dict(frame.params),
             path=path,
         )
-        self._mmap = mapped  # keeps the map alive alongside parsed views
-        self._frame_view = frame_view
+        # Keeps the map alive alongside parsed views; dropped on close.
+        self._mmap: mmap.mmap | None = mapped
+        self._frame_view: memoryview | None = frame_view
         self._frame = frame
         self._crc = crc
         self._verified = False
 
     def _materialise(self) -> Compressed:
+        assert self._frame_view is not None  # _check_open ran first
         return load_compressed(self._frame_view)
 
     def _verify(self) -> None:
+        self._check_open()
         if not self._verified:
             if zlib.crc32(self._frame_view) != self._crc:
                 raise ValueError(
@@ -254,8 +299,23 @@ class _LazyArchive(Archive):
                 )
             self._verified = True
 
+    def _release(self) -> None:
+        view, self._frame_view = self._frame_view, None
+        mapped, self._mmap = self._mmap, None
+        self._frame = None  # its payload slice also references the map
+        try:
+            if view is not None:
+                view.release()
+            if mapped is not None:
+                mapped.close()
+        except BufferError:
+            # Arrays parsed zero-copy off the map are still alive; dropping
+            # our reference defers the unmap to when the last of them dies.
+            pass
+
     def __len__(self) -> int:
         # The frame header records the count; no need to parse the payload.
+        self._check_open()
         if self._compressed is None:
             return self._frame.n
         return len(self._compressed)
@@ -456,6 +516,7 @@ class _MultiRunCompressed(Compressed):
         self._n = self._index.total
         self._path = path
         self._source = source  # keeps an mmap alive alongside the views
+        self._closed = False
         self.truncated_bytes = 0  # torn-tail bytes ignored at open, if any
         self.codec_id = codec_id
         self.codec_params = dict(codec_params)
@@ -465,7 +526,28 @@ class _MultiRunCompressed(Compressed):
         """Number of append records (one per :meth:`AppendableArchive.append`)."""
         return len(self._runs)
 
+    def close(self) -> None:
+        """Drop every record's frame view and release the backing map."""
+        if self._closed:
+            return
+        self._closed = True
+        for run in self._runs:
+            run.compressed = None
+            run.frame = None
+        source, self._source = self._source, None
+        if source is None:
+            return
+        obj = source.obj
+        try:
+            source.release()
+            if isinstance(obj, mmap.mmap):
+                obj.close()
+        except BufferError:
+            pass  # decoded arrays still reference the map: deferred close
+
     def _run(self, i: int) -> Compressed:
+        if self._closed:
+            raise ValueError(f"{self._path}: archive is closed")
         run = self._runs[i]
         if run.compressed is None:
             if not run.verified:

@@ -17,18 +17,21 @@ access in O(log m), and travels through ``repro.save`` / ``repro.open`` /
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
-from ..baselines._native import pack_name, pack_segment, unpack_name, unpack_segment
+from ..baselines._native import (
+    FLOAT64,
+    LOSSY_HDR as _PAYLOAD_HDR,
+    pack_name,
+    pack_segment,
+    unpack_name,
+    unpack_segment,
+)
 from ..baselines.base import LossyCompressed, LossyCompressor, validate_eps
 from .models import DEFAULT_MODELS, get_model
 from .partition import Fragment, PARAM_BITS, FRAGMENT_OVERHEAD_BITS, partition_lossy
 
 __all__ = ["NeaTSLossy", "LossySeries"]
-
-_PAYLOAD_HDR = struct.Struct("<qqdI")  # n, shift, eps, n_fragments
 
 
 class LossySeries(LossyCompressed):
@@ -91,7 +94,7 @@ class LossySeries(LossyCompressed):
                                    len(self.fragments))]
         for frag in self.fragments:
             parts.append(pack_name(frag.model_name))
-            parts.append(struct.pack("<d", frag.eps))
+            parts.append(FLOAT64.pack(frag.eps))
             parts.append(pack_segment(frag.start, frag.end, frag.params))
         return b"".join(parts)
 
@@ -113,7 +116,7 @@ class LossySeries(LossyCompressed):
             get_model(name)  # unknown model kinds fail here, loudly
             if pos + 8 > view.nbytes:
                 raise ValueError(f"corrupt {what}: truncated fragment bound")
-            (frag_eps,) = struct.unpack_from("<d", view, pos)
+            (frag_eps,) = FLOAT64.unpack_from(view, pos)
             (start, end, params), pos = unpack_segment(view, pos + 8, what)
             if start != expected_start or end > n:
                 raise ValueError(

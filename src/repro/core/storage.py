@@ -25,10 +25,9 @@ per-fragment anyway), making the lossless guarantee unconditional.
 from __future__ import annotations
 
 import math
-import struct
-
 import numpy as np
 
+from ..baselines._native import INT64, INT64_PAIR, NEATS_HDR
 from ..bits import BitReader, BitWriter, BitVector, EliasFano, PackedArray, WaveletTree
 from ..bits.packed import unpack_bits
 from .models import Model, get_model
@@ -282,20 +281,20 @@ class NeaTSStorage:
         """Serialise to a portable byte string."""
         out = bytearray(_MAGIC)
         names = ",".join(self.model_names).encode()
-        out += struct.pack(
-            "<qqqqB", self.n, self.m, self.shift, len(names),
+        out += NEATS_HDR.pack(
+            self.n, self.m, self.shift, len(names),
             1 if self.S_bv is not None else 0,
         )
         out += names
-        out += struct.pack("<q", len(self._starts_list))
+        out += INT64.pack(len(self._starts_list))
         out += np.array(self._starts_list, dtype=np.int64).tobytes()
         out += np.array(self._widths_list, dtype=np.int8).tobytes()
         out += np.array(self._kinds_list, dtype=np.int8).tobytes()
         for p in self.P:
-            out += struct.pack("<q", p.size)
+            out += INT64.pack(p.size)
             out += p.tobytes()
-        out += struct.pack(
-            "<qq", self._corrections.bit_length, len(self._corrections.words)
+        out += INT64_PAIR.pack(
+            self._corrections.bit_length, len(self._corrections.words)
         )
         out += self._corrections.words.tobytes()
         return bytes(out)
@@ -310,15 +309,15 @@ class NeaTSStorage:
         if data[:8] != _MAGIC:
             raise ValueError("not a NeaTS byte string")
         pos = 8
-        n, m, shift, name_len, has_bv = struct.unpack_from("<qqqqB", data, pos)
-        pos += struct.calcsize("<qqqqB")
+        n, m, shift, name_len, has_bv = NEATS_HDR.unpack_from(data, pos)
+        pos += NEATS_HDR.size
         names = (
             bytes(data[pos : pos + name_len]).decode().split(",")
             if name_len
             else []
         )
         pos += name_len
-        (m2,) = struct.unpack_from("<q", data, pos)
+        (m2,) = INT64.unpack_from(data, pos)
         pos += 8
         starts = np.frombuffer(data, dtype=np.int64, count=m2, offset=pos)
         pos += 8 * m2
@@ -328,12 +327,12 @@ class NeaTSStorage:
         pos += m2
         params = []
         for _ in names:
-            (cnt,) = struct.unpack_from("<q", data, pos)
+            (cnt,) = INT64.unpack_from(data, pos)
             pos += 8
             arr = np.frombuffer(data, dtype=np.float64, count=cnt, offset=pos)
             pos += 8 * cnt
             params.append(arr)
-        cbits, nwords = struct.unpack_from("<qq", data, pos)
+        cbits, nwords = INT64_PAIR.unpack_from(data, pos)
         pos += 16
         words = np.frombuffer(data, dtype=np.uint64, count=nwords, offset=pos)
 

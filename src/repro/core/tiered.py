@@ -33,10 +33,11 @@ All three tiers answer ``access``/``range`` transparently.
 from __future__ import annotations
 
 import json
-import struct
 import zlib
 
 import numpy as np
+
+from ..baselines._native import INT64, UINT32
 
 __all__ = ["RunIndex", "TieredStore"]
 
@@ -361,7 +362,7 @@ class TieredStore:
             "cold_frame_lens": [len(f) for f in cold_frames],
         }
         meta_b = json.dumps(meta, sort_keys=True).encode("utf-8")
-        body = bytearray(struct.pack("<q", len(meta_b)))
+        body = bytearray(INT64.pack(len(meta_b)))
         body += meta_b
         body += np.array(self._buffer, dtype=np.int64).tobytes()
         for frame in cold_frames:
@@ -370,7 +371,7 @@ class TieredStore:
             body += frame
         # Same integrity story as the archive container: crc32 over the body
         # so bit rot in a snapshot fails loudly instead of decoding wrong.
-        return _MAGIC + struct.pack("<I", zlib.crc32(bytes(body))) + bytes(body)
+        return _MAGIC + UINT32.pack(zlib.crc32(bytes(body))) + bytes(body)
 
     @classmethod
     def from_bytes(cls, data) -> "TieredStore":
@@ -384,10 +385,10 @@ class TieredStore:
 
         if len(data) < 20 or data[:8] != _MAGIC:
             raise ValueError("not a TieredStore byte string")
-        (crc,) = struct.unpack_from("<I", data, 8)
+        (crc,) = UINT32.unpack_from(data, 8)
         if zlib.crc32(data[12:]) != crc:
             raise ValueError("TieredStore snapshot checksum mismatch (corrupt)")
-        (meta_len,) = struct.unpack_from("<q", data, 12)
+        (meta_len,) = INT64.unpack_from(data, 12)
         pos = 20
         try:
             meta = json.loads(bytes(data[pos : pos + meta_len]).decode("utf-8"))

@@ -8,10 +8,11 @@ number of fractional digits"), plus a compact binary format for cached runs.
 
 from __future__ import annotations
 
-import struct
 from pathlib import Path
 
 import numpy as np
+
+from ..baselines._native import TSI64_HDR
 
 __all__ = [
     "scale_to_int",
@@ -65,7 +66,7 @@ def write_binary(path: str | Path, values: np.ndarray, digits: int) -> None:
     from ..codecs.container import write_atomic
 
     values = np.asarray(values, dtype=np.int64)
-    blob = _MAGIC + struct.pack("<qi", len(values), digits) + values.tobytes()
+    blob = _MAGIC + TSI64_HDR.pack(len(values), digits) + values.tobytes()
     write_atomic(path, blob)
 
 
@@ -74,6 +75,6 @@ def read_binary(path: str | Path) -> tuple[np.ndarray, int]:
     data = Path(path).read_bytes()
     if data[:6] != _MAGIC:
         raise ValueError(f"{path}: not a TSI64 file")
-    n, digits = struct.unpack_from("<qi", data, 6)
+    n, digits = TSI64_HDR.unpack_from(data, 6)
     values = np.frombuffer(data, dtype=np.int64, count=n, offset=6 + 12)
     return values.copy(), digits

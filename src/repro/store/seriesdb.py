@@ -272,7 +272,23 @@ class SeriesDB:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
+            self.close()
+
+    def close(self) -> None:
+        """Flush dirty shards, then drop the shard cache and WAL handles.
+
+        Dropping the cache releases any mmap-backed shard views the LRU was
+        pinning (the ``lazy=True`` open path), so a long-lived process can
+        hand the directory to another owner without waiting for GC.  The
+        handle stays usable afterwards — shards simply reload from disk —
+        so ``close()`` is a cache/WAL release, not a poison pill (a second
+        process-level open of the directory is the real ownership change).
+        """
+        with self._lock:
             self.flush()
+            self._stores.clear()
+            self._cached_gen.clear()
+            self._wals.clear()
 
     # -- introspection --------------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""The statement-level CFG behind the dataflow rules.
+
+Each test parses one small function, builds its graph, and asks the exact
+reachability question a rule would ask — can the exit be reached without
+passing through node X, do exception edges land in the handler, does a
+``finally`` intercept the abrupt paths.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import EXC, FLOW, build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    func = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return build_cfg(func)
+
+
+def node_at(cfg, line):
+    """The first non-synthetic node whose statement starts at ``line``."""
+    for node in cfg.nodes:
+        if node.stmt is not None and node.line == line:
+            return node
+    raise AssertionError(f"no node at line {line}")
+
+
+def test_straight_line_reaches_exit():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    assert cfg.exit_index in cfg.reachable(cfg.entry_index)
+
+
+def test_avoid_blocks_the_only_path():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+            return a + b
+        """
+    )
+    gate = node_at(cfg, 3)  # b = 2
+    reach = cfg.reachable(cfg.entry_index, avoid={gate.index})
+    assert cfg.exit_index not in reach
+
+
+def test_if_branches_merge():
+    cfg = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    then_node = node_at(cfg, 3)
+    else_node = node_at(cfg, 5)
+    ret = node_at(cfg, 6)
+    assert ret.index in cfg.reachable(then_node.index)
+    assert ret.index in cfg.reachable(else_node.index)
+    # Avoiding one arm still reaches the return through the other.
+    assert cfg.exit_index in cfg.reachable(
+        cfg.entry_index, avoid={then_node.index}
+    )
+
+
+def test_early_return_skips_the_tail():
+    cfg = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                return None
+            x = 1
+            return x
+        """
+    )
+    early = node_at(cfg, 3)
+    tail = node_at(cfg, 4)
+    # The early return goes straight to the exit, not into the tail.
+    reach = cfg.reachable(early.index)
+    assert cfg.exit_index in reach
+    assert tail.index not in reach
+
+
+def test_loop_has_back_edge_and_break_exits():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+                use(item)
+            return None
+        """
+    )
+    head = node_at(cfg, 2)
+    body = node_at(cfg, 5)  # use(item)
+    brk = node_at(cfg, 4)
+    # Body flows back to the header; break reaches the statement after.
+    assert head.index in cfg.reachable(body.index)
+    assert node_at(cfg, 6).index in cfg.reachable(brk.index)
+
+
+def test_try_body_has_exception_edges_to_handler():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            return None
+        """
+    )
+    risky = node_at(cfg, 3)
+    handler_stmt = node_at(cfg, 5)
+    kinds = {kind for succ, kind in risky.succs if succ == handler_stmt.index}
+    assert kinds == {EXC}
+
+
+def test_skip_exc_from_ignores_that_nodes_raise():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            return None
+        """
+    )
+    risky = node_at(cfg, 3)
+    handler_stmt = node_at(cfg, 5)
+    reach = cfg.reachable(risky.index, skip_exc_from={risky.index})
+    assert handler_stmt.index not in reach
+    assert cfg.exit_index in reach
+
+
+def test_return_routes_through_finally():
+    cfg = cfg_of(
+        """
+        def f(fh):
+            try:
+                return fh.read()
+            finally:
+                fh.close()
+        """
+    )
+    ret = node_at(cfg, 3)
+    close = node_at(cfg, 5)
+    # The return cannot reach the exit without executing the finally body.
+    assert close.index in cfg.reachable(ret.index)
+    assert cfg.exit_index not in cfg.reachable(ret.index, avoid={close.index})
+
+
+def test_raise_routes_to_handler_then_flow_continues():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                raise ValueError("x")
+            except ValueError:
+                fallback()
+            return None
+        """
+    )
+    raise_node = node_at(cfg, 3)
+    fallback = node_at(cfg, 5)
+    kinds = {kind for succ, kind in raise_node.succs if succ == fallback.index}
+    assert FLOW in kinds
+    assert cfg.exit_index in cfg.reachable(raise_node.index)
+
+
+def test_entry_and_exit_are_synthetic():
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+        """
+    )
+    assert cfg.nodes[cfg.entry_index].stmt is None
+    assert cfg.nodes[cfg.exit_index].stmt is None
+    assert cfg.nodes[cfg.entry_index].line == 0

@@ -1,0 +1,187 @@
+"""The runtime sanitizer behind REPRO_SANITIZE.
+
+Each test enables the sanitizer with its *own* ledger (so deliberate
+violations never dirty the process-global one), provokes one behaviour —
+a leaked map, a defended use-after-close, a lock-order inversion — and
+asserts the ledger saw exactly that.  ``disable()`` in a finally restores
+the unpatched functions for the rest of the suite.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.sanitizer import (
+    Ledger,
+    SanitizedLock,
+    active_ledger,
+    disable,
+    enable,
+)
+from repro.codecs import open_archive, save
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(7)
+    return np.cumsum(rng.integers(-5, 6, 3000)).astype(np.int64)
+
+
+@pytest.fixture
+def archive_path(series, tmp_path):
+    path = tmp_path / "series.rpac"
+    save(path, repro.compress(series, codec="gorilla"))
+    return path
+
+
+@pytest.fixture
+def ledger():
+    """Enable the sanitizer on a private ledger; always restore after."""
+    was_active = active_ledger()
+    if was_active is not None:
+        disable()
+    ledger = enable(Ledger())
+    try:
+        yield ledger
+    finally:
+        disable()
+        if was_active is not None:
+            # Re-enable the previous ledger (e.g. a REPRO_SANITIZE=1 run).
+            enable(was_active)
+
+
+class TestMapAccounting:
+    def test_clean_usage_is_clean(self, ledger, archive_path, series):
+        with open_archive(archive_path, lazy=True) as archive:
+            assert np.array_equal(archive.decompress(), series)
+        report = ledger.report()
+        assert report["clean"]
+        assert report["leaks"] == []
+
+    def test_unclosed_map_is_a_leak(self, ledger, archive_path):
+        archive = open_archive(archive_path, lazy=True)
+        archive.decompress()
+        (leak,) = ledger.live_maps()
+        assert leak["path"] == str(archive_path)
+        assert leak["stack"]  # the creating call stack came along
+        assert not ledger.report()["clean"]
+        # Closing clears the leak: verdict flips back to clean.
+        archive.close()
+        assert ledger.report()["clean"]
+
+    def test_eager_open_never_maps(self, ledger, archive_path):
+        archive = open_archive(archive_path)  # eager: read + parse, no mmap
+        archive.decompress()
+        assert ledger.live_maps() == []
+
+
+class TestUseAfterClose:
+    def test_defended_use_is_recorded_not_fatal(self, ledger, archive_path):
+        archive = open_archive(archive_path, lazy=True)
+        archive.close()
+        with pytest.raises(ValueError, match="closed"):
+            archive.decompress()
+        report = ledger.report()
+        (event,) = report["caught_use_after_close"]
+        assert event["path"] == str(archive_path)
+        # The archive already raised in the caller's face: informational,
+        # not a verdict-flipping violation.
+        assert report["clean"]
+
+
+class TestLockOrder:
+    def test_nested_consistent_order_is_clean(self, ledger):
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert ledger.report()["inversions"] == []
+
+    def test_inversion_is_recorded(self, ledger):
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        (inversion,) = ledger.report()["inversions"]
+        assert inversion["edge"] == "B -> A"
+        assert inversion["reverse"] == "A -> B"
+        assert not ledger.report()["clean"]
+
+    def test_reentrant_acquire_is_fine(self, ledger):
+        a = SanitizedLock("A", ledger)
+        with a:
+            with a:
+                pass
+        assert ledger.report()["inversions"] == []
+
+    def test_cross_thread_inversion_detected(self, ledger):
+        """Per-thread held stacks, one global order graph."""
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        with a:
+            with b:
+                pass
+
+        def other_thread():
+            with b:
+                with a:
+                    pass
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        assert len(ledger.report()["inversions"]) == 1
+
+    def test_seriesdb_lock_is_wrapped(self, ledger, tmp_path, series):
+        with repro.SeriesDB(tmp_path / "db", hot_codec="gorilla") as db:
+            assert isinstance(db._lock, SanitizedLock)
+            db.ingest("s1", series)
+            assert np.array_equal(db.decompress("s1"), series)
+        assert ledger.report()["inversions"] == []
+
+
+class TestEnableDisable:
+    def test_disable_restores_patches(self, ledger, archive_path):
+        from repro.codecs import container
+
+        patched = container.mmap_view
+        disable()
+        try:
+            assert container.mmap_view is not patched
+            assert active_ledger() is None
+            # Unpatched: new maps are no longer recorded.
+            archive = open_archive(archive_path, lazy=True)
+            archive.decompress()
+            assert ledger.live_maps() == []
+            archive.close()
+        finally:
+            enable(ledger)  # the fixture's finally expects an active state
+
+    def test_enable_is_idempotent(self, ledger):
+        assert enable() is ledger  # re-enable keeps the active ledger
+        other = Ledger()
+        assert enable(other) is other  # ...unless a new one is handed in
+        assert active_ledger() is other
+        enable(ledger)
+
+    def test_render_clean_and_dirty(self, ledger):
+        assert ledger.render() == "repro sanitizer: clean"
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        rendered = ledger.render()
+        assert "VIOLATIONS" in rendered
+        assert "LOCK-ORDER INVERSION" in rendered

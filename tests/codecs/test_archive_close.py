@@ -1,0 +1,117 @@
+"""Archive.close() and the context-manager protocol.
+
+Contract (see :class:`repro.codecs.container.Archive`): ``close()`` is
+idempotent, releases the mmap on the lazy path (deferred while zero-copy
+arrays still reference it), and every subsequent decode raises a
+``ValueError`` naming the path.  ``with repro.open(...)`` closes on exit.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codecs import open_archive, save
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(23)
+    return np.cumsum(rng.integers(-9, 10, 4000)).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def archive_path(series, tmp_path_factory):
+    path = tmp_path_factory.mktemp("close") / "series.rpac"
+    save(path, repro.compress(series, codec="gorilla"))
+    return path
+
+
+@pytest.fixture(scope="module")
+def appendable_path(series, tmp_path_factory):
+    path = tmp_path_factory.mktemp("close") / "log.rpal"
+    log = repro.append_open(path, codec="gorilla")
+    log.append(series[:2000])
+    log.append(series[2000:])  # durable on return: no explicit close needed
+    return path
+
+
+@pytest.mark.parametrize("lazy", [False, True], ids=["eager", "lazy"])
+class TestClose:
+    def test_post_close_decode_raises(self, archive_path, lazy):
+        archive = open_archive(archive_path, lazy=lazy)
+        archive.close()
+        assert archive.closed
+        with pytest.raises(ValueError, match="closed"):
+            archive.decompress()
+        with pytest.raises(ValueError, match="closed"):
+            archive.access(0)
+
+    def test_close_is_idempotent(self, archive_path, lazy):
+        archive = open_archive(archive_path, lazy=lazy)
+        archive.close()
+        archive.close()
+        assert archive.closed
+
+    def test_context_manager_closes(self, archive_path, series, lazy):
+        with open_archive(archive_path, lazy=lazy) as archive:
+            assert np.array_equal(archive.decompress(), series)
+            assert not archive.closed
+        assert archive.closed
+
+    def test_context_manager_closes_on_error(self, archive_path, lazy):
+        with pytest.raises(RuntimeError, match="boom"):
+            with open_archive(archive_path, lazy=lazy) as archive:
+                raise RuntimeError("boom")
+        assert archive.closed
+
+    def test_metadata_survives_close(self, archive_path, lazy):
+        archive = open_archive(archive_path, lazy=lazy)
+        digits, codec = archive.digits, archive.codec_id
+        archive.close()
+        # Plain metadata stays readable; only decodes are gated.
+        assert (archive.digits, archive.codec_id) == (digits, codec)
+
+    def test_reopen_on_closed_path_fails(self, archive_path, lazy):
+        archive = open_archive(archive_path, lazy=lazy)
+        archive.close()
+        with pytest.raises(ValueError, match="closed"):
+            archive.__enter__()
+
+
+def test_error_names_the_path(archive_path):
+    archive = open_archive(archive_path, lazy=True)
+    archive.close()
+    with pytest.raises(ValueError, match=str(archive_path.name)):
+        archive.decompress_range(0, 10)
+
+
+def test_lazy_arrays_survive_deferred_close(archive_path, series):
+    """Zero-copy arrays parsed off the map stay valid after close().
+
+    ``close()`` drops the archive's references; the actual unmap is
+    deferred until the last borrowing array dies, so data decoded *before*
+    the close is never pulled out from under the caller.
+    """
+    archive = open_archive(archive_path, lazy=True)
+    values = archive.decompress()
+    archive.close()
+    assert np.array_equal(values, series)  # still readable post-close
+
+
+def test_appendable_close_eager_and_lazy(appendable_path, series):
+    for lazy in (False, True):
+        with open_archive(appendable_path, lazy=lazy) as archive:
+            assert np.array_equal(archive.decompress(), series)
+        with pytest.raises(ValueError, match="closed"):
+            archive.decompress()
+
+
+def test_seriesdb_close_flushes_and_reopens(tmp_path, series):
+    with repro.SeriesDB(tmp_path / "db", hot_codec="gorilla") as db:
+        db.ingest("s1", series)
+    # close() flushed: a fresh handle reads everything back from disk.
+    db2 = repro.SeriesDB(tmp_path / "db", hot_codec="gorilla")
+    assert np.array_equal(db2.decompress("s1"), series)
+    db2.close()
+    # close() is a cache release, not a poison pill: the handle still works.
+    assert np.array_equal(db2.decompress("s1"), series)
