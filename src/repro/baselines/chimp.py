@@ -131,7 +131,7 @@ class ChimpCompressor(LosslessCompressor):
             chimp_encode(chunk, writer)
             blocks.append((writer.getbuffer(), writer.bit_length, len(chunk)))
         return _XorBlockCompressed(
-            blocks, len(values), self._block_size, chimp_decode
+            blocks, len(values), self._block_size, chimp_decode, family="chimp"
         )
 
 
@@ -243,5 +243,5 @@ class Chimp128Compressor(LosslessCompressor):
             chimp128_encode(chunk, writer)
             blocks.append((writer.getbuffer(), writer.bit_length, len(chunk)))
         return _XorBlockCompressed(
-            blocks, len(values), self._block_size, chimp128_decode
+            blocks, len(values), self._block_size, chimp128_decode, family="chimp128"
         )

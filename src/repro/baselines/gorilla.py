@@ -92,49 +92,90 @@ def gorilla_decode(reader: BitReader, count: int) -> list[int]:
     return out
 
 
+#: decoded blocks kept hot per compressed object (LRU)
+_BLOCK_CACHE = 8
+
+
 class _XorBlockCompressed(Compressed):
-    """Shared container for block-encoded XOR streams (Gorilla/Chimp/...)."""
+    """Shared container for block-encoded XOR streams (Gorilla/Chimp/...).
+
+    Block decoding dispatches through :mod:`repro.kernels` when the block's
+    ``family`` is one of the vectorised XOR kernels; an explicit
+    ``decode_fn`` remains the scalar fallback for unknown families.  Point
+    and range queries binary-search the per-block counts
+    (:class:`~repro.core.tiered.RunIndex`) and keep a small LRU of decoded
+    blocks, so repeated access into the same region decodes nothing;
+    ``blocks_decoded`` counts actual (non-cached) block decodes, which is
+    what the lazy-decode tests assert on.
+    """
 
     payload_is_native = True
 
-    def __init__(self, blocks, n, block_size, decode_fn):
+    def __init__(self, blocks, n, block_size, decode_fn, family=None):
+        from ..core.tiered import RunIndex
+
         self._blocks = blocks  # list of (words, bit_length, count)
         self._n = n
         self._block_size = block_size
         self._decode = decode_fn
+        self._family = family
+        self._index = RunIndex(count for _, _, count in blocks)
+        self._cache: dict[int, np.ndarray] = {}
+        self.blocks_decoded = 0
 
     def size_bits(self) -> int:
         payload = sum(bl for _, bl, _ in self._blocks)
         return payload + 64 * (len(self._blocks) + 1)
 
-    def _decode_block(self, idx: int) -> list[int]:
-        words, bit_length, count = self._blocks[idx]
-        return self._decode(BitReader(words, bit_length), count)
+    def _decode_block(self, idx: int) -> np.ndarray:
+        cached = self._cache.pop(idx, None)
+        if cached is None:
+            self.blocks_decoded += 1
+            words, bit_length, count = self._blocks[idx]
+            if self._family is not None:
+                from .. import kernels
+
+                cached = kernels.decode_xor_block(
+                    self._family, words, bit_length, count
+                )
+            else:
+                cached = np.array(
+                    self._decode(BitReader(words, bit_length), count),
+                    dtype=np.uint64,
+                )
+        self._cache[idx] = cached  # re-insert: dict order is the LRU order
+        if len(self._cache) > _BLOCK_CACHE:
+            self._cache.pop(next(iter(self._cache)))
+        return cached
 
     def decompress(self) -> np.ndarray:
-        out = []
-        for idx in range(len(self._blocks)):
-            out.extend(self._decode_block(idx))
-        return np.array(out, dtype=np.uint64).astype(np.int64)
+        if not self._blocks:
+            return np.empty(0, dtype=np.int64)
+        if self._family is not None:
+            from .. import kernels
+
+            self.blocks_decoded += len(self._blocks)
+            out = kernels.decode_xor_blocks(self._family, self._blocks)
+            return out.astype(np.int64)
+        parts = [self._decode_block(idx) for idx in range(len(self._blocks))]
+        return np.concatenate(parts).astype(np.int64)
 
     def access(self, k: int) -> int:
         if not 0 <= k < self._n:
             raise IndexError(k)
-        idx, off = divmod(k, self._block_size)
+        idx, off = self._index.locate(k)
         vals = self._decode_block(idx)
-        return int(np.uint64(vals[off]).astype(np.int64))
+        return int(vals[off].astype(np.int64))
 
     def decompress_range(self, lo: int, hi: int) -> np.ndarray:
         if not 0 <= lo <= hi <= self._n:
             raise IndexError((lo, hi))
-        first = lo // self._block_size
-        last = (hi - 1) // self._block_size if hi > lo else first
-        vals: list[int] = []
-        for idx in range(first, last + 1):
-            vals.extend(self._decode_block(idx))
-        base = first * self._block_size
-        arr = np.array(vals, dtype=np.uint64).astype(np.int64)
-        return arr[lo - base : hi - base]
+        parts = [
+            self._decode_block(idx)[a:b] for idx, a, b in self._index.spans(lo, hi)
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts).astype(np.int64)
 
     def to_payload(self) -> bytes:
         """Native frame payload: per-block XOR bit streams."""
@@ -146,7 +187,7 @@ class _XorBlockCompressed(Compressed):
         return b"".join(parts)
 
     @classmethod
-    def from_payload(cls, payload, decode_fn) -> "_XorBlockCompressed":
+    def from_payload(cls, payload, decode_fn, family=None) -> "_XorBlockCompressed":
         """Rebuild from :meth:`to_payload` output plus the family's decoder.
 
         Zero-copy: block word buffers are adopted as (read-only) views of
@@ -168,7 +209,7 @@ class _XorBlockCompressed(Compressed):
             words = np.frombuffer(payload, dtype=np.uint64, count=nwords, offset=pos)
             blocks.append((words, bit_length, count))
             pos = end
-        return cls(blocks, n, block_size, decode_fn)
+        return cls(blocks, n, block_size, decode_fn, family)
 
 
 class GorillaCompressor(LosslessCompressor):
@@ -189,5 +230,5 @@ class GorillaCompressor(LosslessCompressor):
             gorilla_encode(chunk, writer)
             blocks.append((writer.getbuffer(), writer.bit_length, len(chunk)))
         return _XorBlockCompressed(
-            blocks, len(values), self._block_size, gorilla_decode
+            blocks, len(values), self._block_size, gorilla_decode, family="gorilla"
         )

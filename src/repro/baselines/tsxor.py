@@ -122,35 +122,62 @@ def tsxor_decode(data: bytes, count: int) -> np.ndarray:
     return out
 
 
+#: decoded blocks kept hot per compressed object (LRU)
+_BLOCK_CACHE = 8
+
+
 class _TSXorCompressed(Compressed):
     payload_is_native = True
 
     def __init__(self, blocks: list[tuple[bytes, int]], n: int, block_size: int):
+        from ..core.tiered import RunIndex
+
         self._blocks = blocks
         self._n = n
         self._block_size = block_size
+        self._index = RunIndex(count for _, count in blocks)
+        self._cache: dict[int, np.ndarray] = {}
+        self.blocks_decoded = 0
 
     def size_bits(self) -> int:
         return sum(len(b) * 8 for b, _ in self._blocks) + 64 * (len(self._blocks) + 1)
 
+    def _decode_block(self, idx: int) -> np.ndarray:
+        cached = self._cache.pop(idx, None)
+        if cached is None:
+            self.blocks_decoded += 1
+            from .. import kernels
+
+            blob, count = self._blocks[idx]
+            cached = kernels.decode_tsxor_block(blob, count)
+        self._cache[idx] = cached  # re-insert: dict order is the LRU order
+        if len(self._cache) > _BLOCK_CACHE:
+            self._cache.pop(next(iter(self._cache)))
+        return cached
+
     def decompress(self) -> np.ndarray:
-        parts = [tsxor_decode(b, c) for b, c in self._blocks]
-        return np.concatenate(parts).astype(np.int64)
+        if not self._blocks:
+            return np.empty(0, dtype=np.int64)
+        from .. import kernels
+
+        self.blocks_decoded += len(self._blocks)
+        return kernels.decode_tsxor_blocks(self._blocks).astype(np.int64)
 
     def access(self, k: int) -> int:
         if not 0 <= k < self._n:
             raise IndexError(k)
-        idx, off = divmod(k, self._block_size)
-        blob, count = self._blocks[idx]
-        return int(tsxor_decode(blob, count)[off].astype(np.int64))
+        idx, off = self._index.locate(k)
+        return int(self._decode_block(idx)[off].astype(np.int64))
 
     def decompress_range(self, lo: int, hi: int) -> np.ndarray:
-        first = lo // self._block_size
-        last = (hi - 1) // self._block_size if hi > lo else first
-        parts = [tsxor_decode(*self._blocks[i]) for i in range(first, last + 1)]
-        vals = np.concatenate(parts).astype(np.int64)
-        base = first * self._block_size
-        return vals[lo - base : hi - base]
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        parts = [
+            self._decode_block(idx)[a:b] for idx, a, b in self._index.spans(lo, hi)
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts).astype(np.int64)
 
     def to_payload(self) -> bytes:
         """Native frame payload: the byte-aligned TSXor streams per block."""

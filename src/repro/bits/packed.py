@@ -35,6 +35,13 @@ class PackedArray(Sequence[int]):
     __slots__ = ("_reader", "_width", "_length")
 
     def __init__(self, values: Iterable[int], width: int | None = None) -> None:
+        if isinstance(values, np.ndarray) and values.dtype.kind in "iu":
+            if width is None:
+                width = min_width(int(values.max()) if len(values) else 0)
+            if 0 <= width <= 64:
+                self._init_packed(values, width)
+                return
+            values = values.tolist()
         values = list(values)
         if width is None:
             width = min_width(max(values, default=0))
@@ -44,6 +51,30 @@ class PackedArray(Sequence[int]):
                 raise ValueError(f"value {v} does not fit in {width} bits")
             writer.write(v, width)
         self._reader = BitReader(writer.getbuffer(), writer.bit_length)
+        self._width = width
+        self._length = len(values)
+
+    def _init_packed(self, values: np.ndarray, width: int) -> None:
+        """Compress-side fast path: vectorised packing of an integer array.
+
+        Produces the exact word buffer the per-element ``BitWriter`` loop
+        would, so serialised layouts do not depend on which path packed
+        them; the loop remains for non-array inputs and out-of-range
+        widths.
+        """
+        from ..kernels.bitpack import pack_bits  # deferred: import cycle
+
+        unsigned = values.astype(np.uint64)
+        bad = np.zeros(len(values), dtype=bool)
+        if values.dtype.kind == "i":
+            bad |= values < 0
+        if width < 64 and len(values):
+            bad |= (unsigned >> np.uint64(width)) != 0
+        if bad.any():
+            v = int(values[int(np.argmax(bad))])
+            raise ValueError(f"value {v} does not fit in {width} bits")
+        words = pack_bits(unsigned, width)
+        self._reader = BitReader(words, len(values) * width)
         self._width = width
         self._length = len(values)
 

@@ -316,6 +316,15 @@ def _cmd_lint(args) -> int:
     return 1 if fresh else 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench.runner import run_bench
+
+    written = run_bench(args.out, quick=args.quick, n=args.n, log=print)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_fsck(args) -> int:
     from .analysis import fsck_path
 
@@ -623,6 +632,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="machine-readable findings for tooling")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("bench",
+                       help="tracked kernel benchmarks (BENCH_*.json)")
+    p.add_argument("--out", default=".",
+                   help="directory receiving the BENCH_*.json artefacts "
+                        "(default: current directory)")
+    p.add_argument("--quick", action="store_true",
+                   help="small series / one repeat: the CI smoke "
+                        "configuration")
+    p.add_argument("--n", type=int, default=None,
+                   help="override the benchmark series length")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("fsck",
                        help="verify archives / SeriesDB dirs structurally")

@@ -101,9 +101,9 @@ def _blockwise_loader(codec_id: str):
     return load
 
 
-def _xor_loader(decode_fn):
+def _xor_loader(decode_fn, family=None):
     def load(payload: bytes, params: dict) -> _XorBlockCompressed:
-        return _XorBlockCompressed.from_payload(payload, decode_fn)
+        return _XorBlockCompressed.from_payload(payload, decode_fn, family)
 
     return load
 
@@ -208,19 +208,19 @@ register_codec(
     "gorilla",
     table_name="Gorilla",
     description="Gorilla XOR compression (Pelkonen et al., VLDB 2015)",
-    load_native=_xor_loader(gorilla_decode),
+    load_native=_xor_loader(gorilla_decode, "gorilla"),
 )(GorillaCompressor)
 register_codec(
     "chimp",
     table_name="Chimp",
     description="Chimp XOR compression (Liakos et al., PVLDB 2022)",
-    load_native=_xor_loader(chimp_decode),
+    load_native=_xor_loader(chimp_decode, "chimp"),
 )(ChimpCompressor)
 register_codec(
     "chimp128",
     table_name="Chimp128",
     description="Chimp128: Chimp with a 128-value reference window",
-    load_native=_xor_loader(chimp128_decode),
+    load_native=_xor_loader(chimp128_decode, "chimp128"),
 )(Chimp128Compressor)
 register_codec(
     "tsxor",

@@ -136,6 +136,77 @@ def mmap_view(path) -> memoryview | None:
         return None
 
 
+class _LazyValues:
+    """Read-only float view of an archive that decodes blocks on demand.
+
+    Returned by :meth:`Archive.values` on lazily-opened archives.  Integer
+    indexing routes through :meth:`Archive.access` and contiguous slices
+    through :meth:`Archive.decompress_range`, so only the touched block(s)
+    of a block-structured codec are decoded.  Whole-array uses (iteration,
+    ``np.asarray``, fancy indexing, ``.flags``) materialise the full decoded
+    array once and behave like the eager cache from then on.
+    """
+
+    __slots__ = ("_archive", "_scale", "_full")
+
+    dtype = np.dtype(np.float64)
+    ndim = 1
+
+    def __init__(self, archive: "Archive") -> None:
+        self._archive = archive
+        self._scale = 10.0 ** archive.digits
+        self._full: np.ndarray | None = None
+
+    def _materialise(self) -> np.ndarray:
+        if self._full is None:
+            archive = self._archive
+            archive._verify()
+            vals = archive.compressed.decompress() / self._scale
+            vals.setflags(write=False)
+            self._full = vals
+        return self._full
+
+    def __getitem__(self, key):
+        if self._full is not None:
+            return self._full[key]
+        if isinstance(key, (int, np.integer)):
+            k = int(key)
+            n = len(self._archive)
+            if k < 0:
+                k += n
+            if not 0 <= k < n:
+                raise IndexError(key)
+            return self._archive.access(k) / self._scale
+        if isinstance(key, slice):
+            lo, hi, step = key.indices(len(self._archive))
+            if step == 1:
+                return self._archive.decompress_range(lo, max(lo, hi)) / self._scale
+        return self._materialise()[key]
+
+    def __len__(self) -> int:
+        return len(self._archive)
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        full = self._materialise()
+        if dtype is not None and np.dtype(dtype) != full.dtype:
+            return full.astype(dtype)
+        if copy:
+            return full.copy()
+        return full
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (len(self._archive),)
+
+    @property
+    def flags(self):
+        """Ndarray flags of the materialised cache (always read-only)."""
+        return self._materialise().flags
+
+
 class Archive:
     """An opened archive: the compressed series plus container metadata.
 
@@ -158,8 +229,11 @@ class Archive:
         self.codec_id = codec_id
         self.params = {} if params is None else params
         self.path = path
-        self._values: np.ndarray | None = None
+        self._values: "np.ndarray | _LazyValues | None" = None
         self._closed = False
+
+    #: lazy subclasses serve :meth:`values` through a block-decoding proxy
+    _lazy_values = False
 
     @property
     def compressed(self) -> Compressed:
@@ -242,17 +316,22 @@ class Archive:
         """Compressed bits / uncompressed bits."""
         return self.compressed.compression_ratio(n)
 
-    def values(self) -> np.ndarray:
+    def values(self) -> "np.ndarray | _LazyValues":
         """The decoded series as floats, decimal scaling applied.
 
-        The decoded array is cached (and marked read-only) so repeated
-        calls do not re-decompress the whole series.
+        Eager archives decode once and cache a read-only array.  Lazy
+        archives return a cached :class:`_LazyValues` proxy instead:
+        ``values()[k]`` and contiguous slices decode only the touched
+        block(s); whole-array uses materialise on first need.
         """
         if self._values is None:
-            self._verify()
-            vals = self.compressed.decompress() / 10.0**self.digits
-            vals.setflags(write=False)
-            self._values = vals
+            if self._lazy_values:
+                self._values = _LazyValues(self)
+            else:
+                self._verify()
+                vals = self.compressed.decompress() / 10.0**self.digits
+                vals.setflags(write=False)
+                self._values = vals
         return self._values
 
     def __len__(self) -> int:
@@ -261,6 +340,8 @@ class Archive:
 
 class _LazyArchive(Archive):
     """Archive over an mmapped file: parse on first touch, crc on first decode."""
+
+    _lazy_values = True
 
     def __init__(
         self,

@@ -49,24 +49,41 @@ class LossySeries(LossyCompressed):
         self.shift = int(shift)
         self.eps = float(eps)
 
-    def reconstruct(self) -> np.ndarray:
-        """Evaluate the approximation at every position (float64)."""
+    def _evaluate_all(self) -> np.ndarray:
+        """The raw (unshifted) approximation at every position, float64."""
+        from ..kernels import evaluate_fragments, get_backend
+
+        if get_backend() != "python" and len(self.fragments) > 1:
+            names: list[str] = []
+            kind_of: dict[str, int] = {}
+            kinds = []
+            for frag in self.fragments:
+                if frag.model_name not in kind_of:
+                    kind_of[frag.model_name] = len(names)
+                    names.append(frag.model_name)
+                kinds.append(kind_of[frag.model_name])
+            return evaluate_fragments(
+                [get_model(name) for name in names],
+                kinds,
+                [frag.start for frag in self.fragments],
+                [frag.end for frag in self.fragments],
+                [frag.params for frag in self.fragments],
+                self.n,
+            )
         out = np.empty(self.n, dtype=np.float64)
         for frag in self.fragments:
             model = get_model(frag.model_name)
             xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)
             out[frag.start : frag.end] = model.evaluate(frag.params, xs)
-        return out - self.shift
+        return out
+
+    def reconstruct(self) -> np.ndarray:
+        """Evaluate the approximation at every position (float64)."""
+        return self._evaluate_all() - self.shift
 
     def reconstruct_int(self) -> np.ndarray:
         """The approximation floored to integers, as NeaTS would decode it."""
-        out = np.empty(self.n, dtype=np.int64)
-        for frag in self.fragments:
-            model = get_model(frag.model_name)
-            xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)
-            vals = np.floor(model.evaluate(frag.params, xs)).astype(np.int64)
-            out[frag.start : frag.end] = vals
-        return out - self.shift
+        return np.floor(self._evaluate_all()).astype(np.int64) - self.shift
 
     def access(self, k: int) -> float:
         """The approximated value at 0-based position ``k``."""

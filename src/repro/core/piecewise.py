@@ -53,8 +53,19 @@ def reconstruct(
     fragments: list[FragmentFit], model: Model | str, n: int
 ) -> np.ndarray:
     """Evaluate a single-kind piecewise approximation over positions ``1..n``."""
+    from ..kernels import evaluate_fragments, get_backend
+
     if isinstance(model, str):
         model = get_model(model)
+    if get_backend() != "python" and len(fragments) > 1:
+        return evaluate_fragments(
+            [model],
+            [0] * len(fragments),
+            [frag.start for frag in fragments],
+            [frag.end for frag in fragments],
+            [frag.params for frag in fragments],
+            n,
+        )
     out = np.empty(n, dtype=np.float64)
     for frag in fragments:
         xs = np.arange(frag.start + 1, frag.end + 1, dtype=np.float64)

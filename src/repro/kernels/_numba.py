@@ -1,0 +1,206 @@
+"""JIT-compiled XOR/TSXor decoders (the optional ``numba`` backend).
+
+Importing this module requires ``numba``; the dispatchers in
+:mod:`repro.kernels.xor` / :mod:`repro.kernels.tsxor` only import it after
+:func:`repro.kernels.numba_available` confirmed it can load.  Each decoder
+is a direct single-pass port of the scalar reference in
+:mod:`repro.baselines` — same control flow, same corrupt-stream errors —
+compiled over the raw word/byte buffers.  Shift counts are kept as
+``np.uint64`` throughout: mixing ``uint64`` with signed operands would
+promote to float64 under numpy semantics and silently corrupt the bits.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+__all__ = ["decode_xor", "decode_tsxor"]
+
+_MASKS = np.zeros(65, dtype=np.uint64)
+for _w in range(64):
+    _MASKS[_w] = np.uint64((1 << _w) - 1)
+_MASKS[64] = np.uint64((1 << 64) - 1)
+
+# Chimp's quantised leading-zero table (see repro.baselines.chimp).
+_LZ_ROUND = np.array([0, 8, 12, 16, 18, 20, 22, 24], dtype=np.int64)
+
+_ZERO = np.uint64(0)
+
+
+@numba.njit(cache=False, inline="always")
+def _peek(words, pos, width):  # pragma: no cover - exercised via numba only
+    """``width`` bits at absolute bit offset ``pos`` (LSB-first layout)."""
+    if width == 0:
+        return _ZERO
+    w = pos >> 6
+    b = pos & 63
+    v = words[w] >> np.uint64(b)
+    got = 64 - b
+    if got < width:
+        v |= words[w + 1] << np.uint64(got)
+    return v & _MASKS[width]
+
+
+@numba.njit(cache=False)
+def _gorilla(words, count):  # pragma: no cover - exercised via numba only
+    out = np.empty(count, np.uint64)
+    prev = words[0]
+    out[0] = prev
+    pos = 64
+    prev_lz = 0
+    prev_len = 0
+    for i in range(1, count):
+        ctl = int(_peek(words, pos, 2))
+        if ctl & 1 == 0:
+            pos += 1
+            out[i] = prev
+            continue
+        if ctl & 2 != 0:
+            pos += 2
+            hdr = int(_peek(words, pos, 11))
+            prev_lz = hdr & 31
+            prev_len = ((hdr >> 5) & 63) + 1
+            pos += 11
+        else:
+            pos += 2
+        bits = _peek(words, pos, prev_len)
+        pos += prev_len
+        shift = 64 - prev_lz - prev_len
+        if shift < 0:
+            raise ValueError("corrupt XOR stream: window wider than 64 bits")
+        if shift < 64:
+            prev = prev ^ (bits << np.uint64(shift))
+        out[i] = prev
+    return out
+
+
+@numba.njit(cache=False)
+def _chimp(words, count):  # pragma: no cover - exercised via numba only
+    out = np.empty(count, np.uint64)
+    prev = words[0]
+    out[0] = prev
+    pos = 64
+    prev_lz = -1
+    for i in range(1, count):
+        ctl = int(_peek(words, pos, 2))
+        pos += 2
+        if ctl == 0:  # stream bits (0,0): repeat
+            prev_lz = -1
+        elif ctl == 2:  # stream bits (0,1): many trailing zeros
+            hdr = int(_peek(words, pos, 9))
+            pos += 9
+            lz = _LZ_ROUND[hdr & 7]
+            center = (hdr >> 3) & 63
+            bits = _peek(words, pos, center)
+            pos += center
+            shift = 64 - lz - center
+            if shift < 64:
+                prev = prev ^ (bits << np.uint64(shift))
+            prev_lz = -1
+        elif ctl == 1:  # stream bits (1,0): same leading-zero count
+            if prev_lz < 0:
+                raise ValueError("corrupt Chimp stream: window flag before window")
+            width = 64 - prev_lz
+            prev = prev ^ _peek(words, pos, width)
+            pos += width
+        else:  # stream bits (1,1): new leading-zero count
+            prev_lz = _LZ_ROUND[int(_peek(words, pos, 3))]
+            pos += 3
+            width = 64 - prev_lz
+            prev = prev ^ _peek(words, pos, width)
+            pos += width
+        out[i] = prev
+    return out
+
+
+@numba.njit(cache=False)
+def _chimp128(words, count):  # pragma: no cover - exercised via numba only
+    out = np.empty(count, np.uint64)
+    out[0] = words[0]
+    pos = 64
+    prev_lz = -1
+    for i in range(1, count):
+        ctl = int(_peek(words, pos, 2))
+        pos += 2
+        if ctl == 0:  # exact window match
+            ref = int(_peek(words, pos, 7))
+            pos += 7
+            out[i] = out[i - 1 - ref]
+            prev_lz = -1
+        elif ctl == 2:  # window match with centre bits
+            ref = int(_peek(words, pos, 7))
+            pos += 7
+            lz = _LZ_ROUND[int(_peek(words, pos, 3))]
+            pos += 3
+            center = int(_peek(words, pos, 6))
+            pos += 6
+            bits = _peek(words, pos, center)
+            pos += center
+            shift = 64 - lz - center
+            xor = _ZERO
+            if shift < 64:
+                xor = bits << np.uint64(shift)
+            out[i] = out[i - 1 - ref] ^ xor
+            prev_lz = -1
+        elif ctl == 1:  # previous value, same leading zeros
+            if prev_lz < 0:
+                raise ValueError("corrupt Chimp stream: window flag before window")
+            width = 64 - prev_lz
+            out[i] = out[i - 1] ^ _peek(words, pos, width)
+            pos += width
+        else:  # previous value, new leading zeros
+            prev_lz = _LZ_ROUND[int(_peek(words, pos, 3))]
+            pos += 3
+            width = 64 - prev_lz
+            out[i] = out[i - 1] ^ _peek(words, pos, width)
+            pos += width
+    return out
+
+
+@numba.njit(cache=False)
+def _tsxor(data, count):  # pragma: no cover - exercised via numba only
+    out = np.empty(count, np.uint64)
+    pos = 0
+    for i in range(count):
+        hdr = int(data[pos])
+        pos += 1
+        if hdr == 0xFF:  # raw 8-byte value
+            v = _ZERO
+            for k in range(8):
+                v |= np.uint64(data[pos + k]) << np.uint64(8 * k)
+            pos += 8
+            out[i] = v
+        elif hdr == 0x7F:  # XOR against a window reference
+            age = int(data[pos])
+            ol = int(data[pos + 1])
+            pos += 2
+            first = ol >> 4
+            length = (ol & 0x0F) + 1
+            x = _ZERO
+            for k in range(length):
+                x |= np.uint64(data[pos + k]) << np.uint64(8 * k)
+            pos += length
+            out[i] = out[i - 1 - age] ^ (x << np.uint64(8 * first))
+        else:  # exact window match
+            out[i] = out[i - 1 - hdr]
+    return out
+
+
+def decode_xor(family: str, words: np.ndarray, count: int) -> np.ndarray:
+    """Decode one XOR-family block with the compiled decoders."""
+    if count <= 0:
+        return np.zeros(0, dtype=np.uint64)
+    # One spare zero word keeps 2-bit control peeks near the end in bounds.
+    padded = np.zeros(len(words) + 1, dtype=np.uint64)
+    padded[:-1] = words
+    if family == "gorilla":
+        return _gorilla(padded, count)
+    if family == "chimp":
+        return _chimp(padded, count)
+    return _chimp128(padded, count)
+
+
+def decode_tsxor(data: np.ndarray, count: int) -> np.ndarray:
+    """Decode one TSXor byte stream (``data`` already zero-padded)."""
+    return _tsxor(data, count)

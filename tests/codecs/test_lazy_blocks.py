@@ -1,0 +1,70 @@
+"""Per-block lazy decode: point/range queries touch only their block(s).
+
+The XOR-family codecs store independent blocks of (at most) 1000 values.
+On a lazily-opened archive, ``values()[k]`` / ``access`` / short
+``decompress_range`` calls must decode exactly the touched block(s) —
+counted by the payload object's ``blocks_decoded`` — and the per-archive
+block cache must absorb repeated hits.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codecs import open_archive, save
+
+N = 5_500  # six blocks: five full, one ragged
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(23)
+    return np.cumsum(rng.integers(-9, 10, N)).astype(np.int64)
+
+
+@pytest.fixture(params=["gorilla", "chimp", "chimp128", "tsxor"])
+def lazy(request, series, tmp_path_factory):
+    path = tmp_path_factory.mktemp("blk") / f"{request.param}.rpac"
+    save(path, repro.compress(series, codec=request.param), digits=1)
+    with open_archive(path, lazy=True) as archive:
+        yield archive
+
+
+class TestDecodeCounter:
+    def test_point_access_decodes_one_block(self, lazy, series):
+        assert lazy.access(1500) == series[1500]
+        assert lazy.compressed.blocks_decoded == 1
+
+    def test_same_block_hits_cache(self, lazy, series):
+        for k in (2000, 2500, 2999):
+            assert lazy.access(k) == series[k]
+        assert lazy.compressed.blocks_decoded == 1
+
+    def test_two_block_range_decodes_two(self, lazy, series):
+        got = lazy.decompress_range(900, 1100)
+        assert np.array_equal(got, series[900:1100])
+        assert lazy.compressed.blocks_decoded == 2
+
+    def test_values_indexing_is_block_lazy(self, lazy, series):
+        values = lazy.values()
+        assert values is lazy.values()
+        assert values[4321] == series[4321] / 10.0
+        assert lazy.compressed.blocks_decoded == 1
+        got = lazy.values()[100:1200]
+        assert np.allclose(got, series[100:1200] / 10.0)
+        assert lazy.compressed.blocks_decoded == 3
+
+    def test_last_ragged_block(self, lazy, series):
+        assert lazy.access(N - 1) == series[N - 1]
+        assert lazy.compressed.blocks_decoded == 1
+
+    def test_full_decompress_counts_all_blocks(self, lazy, series):
+        assert np.array_equal(lazy.decompress(), series)
+        assert lazy.compressed.blocks_decoded == 6
+
+    def test_cache_eviction_keeps_answers_right(self, lazy, series):
+        # Sweep more distinct blocks than the cache holds, then revisit.
+        for k in range(0, N, 1000):
+            assert lazy.access(k) == series[k]
+        assert lazy.access(0) == series[0]
+        assert lazy.access(N - 1) == series[N - 1]

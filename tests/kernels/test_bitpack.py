@@ -1,0 +1,111 @@
+"""Vectorised bit packing: byte-identical to the BitWriter reference."""
+
+import numpy as np
+import pytest
+
+from repro.bits import BitReader, BitWriter, PackedArray
+from repro.kernels.bitpack import FieldGather, pack_bits
+from repro.bits.packed import unpack_bits, unpack_fields
+
+WIDTHS = [0, 1, 3, 5, 7, 8, 13, 16, 31, 32, 33, 47, 57, 58, 63, 64]
+
+
+def _reference_words(values, width):
+    writer = BitWriter()
+    for v in values:
+        writer.write(int(v), width)
+    return writer.getbuffer(), writer.bit_length
+
+
+class TestPackBits:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_byte_identical_to_bitwriter(self, width):
+        rng = np.random.default_rng(width)
+        hi = np.uint64(2**width - 1) if width else np.uint64(0)
+        values = rng.integers(0, int(hi) + 1, 257, dtype=np.uint64)
+        ref_words, ref_bits = _reference_words(values, width)
+        words = pack_bits(values, width)
+        assert words.dtype == np.uint64
+        assert np.array_equal(words, ref_words)
+        assert len(words) * 64 >= ref_bits
+
+    def test_empty(self):
+        ref_words, _ = _reference_words([], 13)
+        assert np.array_equal(pack_bits(np.zeros(0, dtype=np.uint64), 13),
+                              ref_words)
+
+    @pytest.mark.parametrize("width", [1, 13, 57, 64])
+    def test_roundtrip_via_unpack(self, width):
+        rng = np.random.default_rng(width + 100)
+        values = rng.integers(0, 2**min(width, 63), 100, dtype=np.uint64)
+        words = pack_bits(values, width)
+        assert np.array_equal(unpack_bits(words, width, len(values)), values)
+
+
+class TestPackedArrayFastPath:
+    """PackedArray.__init__ routes ndarrays through pack_bits; the layout
+    and the error behaviour must match the scalar loop exactly."""
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_same_words_as_list_input(self, width):
+        rng = np.random.default_rng(width)
+        hi = np.uint64(2**width - 1) if width else np.uint64(0)
+        values = rng.integers(0, int(hi) + 1, 123, dtype=np.uint64)
+        fast = PackedArray(values, width=width)
+        slow = PackedArray([int(v) for v in values], width=width)
+        assert np.array_equal(fast.words, slow.words)
+        assert fast.width == slow.width
+        assert len(fast) == len(slow)
+        assert list(fast) == list(slow)
+
+    def test_width_inference_matches(self):
+        values = np.array([3, 17, 200], dtype=np.int64)
+        assert PackedArray(values).width == PackedArray([3, 17, 200]).width == 8
+
+    def test_negative_value_error_message_parity(self):
+        arr = np.array([1, -5, 2], dtype=np.int64)
+        with pytest.raises(ValueError) as fast:
+            PackedArray(arr, width=8)
+        with pytest.raises(ValueError) as slow:
+            PackedArray([1, -5, 2], width=8)
+        assert str(fast.value) == str(slow.value)
+
+    def test_overflow_error_message_parity(self):
+        arr = np.array([1, 300, 2], dtype=np.uint64)
+        with pytest.raises(ValueError) as fast:
+            PackedArray(arr, width=8)
+        with pytest.raises(ValueError) as slow:
+            PackedArray([1, 300, 2], width=8)
+        assert str(fast.value) == str(slow.value)
+
+    def test_empty_ndarray(self):
+        arr = PackedArray(np.zeros(0, dtype=np.int64))
+        assert len(arr) == 0 and arr.width == 0
+
+
+class TestFieldGather:
+    def test_matches_bitreader_at_arbitrary_offsets(self):
+        rng = np.random.default_rng(9)
+        words = rng.integers(0, 2**63, 64, dtype=np.uint64)
+        reader = BitReader(words, len(words) * 64)
+        gather = FieldGather(words)
+        for width in (1, 7, 13, 57, 58, 63, 64):
+            starts = rng.integers(0, len(words) * 64 - width, 40)
+            got = gather(starts, width)
+            want = [reader.peek_at(int(s), width) for s in starts]
+            assert got.tolist() == want, width
+
+    def test_matches_unpack_fields(self):
+        rng = np.random.default_rng(10)
+        words = rng.integers(0, 2**63, 32, dtype=np.uint64)
+        starts = np.sort(rng.integers(0, 31 * 64, 50))
+        for width in (5, 31, 57):
+            assert np.array_equal(
+                FieldGather(words)(starts, width),
+                unpack_fields(words, starts, width),
+            )
+
+    def test_zero_width_and_empty(self):
+        gather = FieldGather(np.ones(4, dtype=np.uint64))
+        assert gather(np.array([0, 5]), 0).tolist() == [0, 0]
+        assert len(gather(np.zeros(0, dtype=np.int64), 13)) == 0
