@@ -107,7 +107,7 @@ from .core import (
 from .data import dataset_names, load
 from .store import SeriesDB, compress_many, compress_many_frames
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 # REPRO_SANITIZE=1 turns on the runtime sanitizer for the whole process:
 # mmap/lock instrumentation with a leak report at interpreter exit (see

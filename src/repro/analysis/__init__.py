@@ -19,15 +19,22 @@ Two tools live here, both wired into the CLI and CI:
 Two deeper layers extend the linter beyond syntax:
 
 * ``repro lint --dataflow`` (:mod:`repro.analysis.cfg` +
-  :mod:`repro.analysis.dataflow`) — an intraprocedural CFG/escape analysis
-  adding buffer-lifetime (RPR5xx), resource-release (RPR6xx), and
-  lock-order (RPR7xx) rules.
+  :mod:`repro.analysis.dataflow` + :mod:`repro.analysis.concurrency`) — an
+  intraprocedural CFG/escape analysis adding buffer-lifetime (RPR5xx),
+  resource-release (RPR6xx), lock-order (RPR7xx), and guarded-by
+  inference (RPR80x) rules.
 
 * ``REPRO_SANITIZE=1`` (:mod:`repro.analysis.sanitizer`) — a runtime
   sanitizer instrumenting ``mmap_view``, archive open/close, and
-  ``SeriesDB._lock`` with a live ledger: use-after-close and lock-order
-  inversions are detected as they happen, and leaked maps are reported at
+  ``SeriesDB._lock`` with a live ledger: use-after-close, lock-order
+  inversions, and vector-clock data races on instrumented SeriesDB state
+  are detected as they happen, and leaked maps are reported at
   interpreter exit.  CI runs the whole test suite under it.
+
+* :mod:`repro.analysis.schedule` — a deterministic schedule explorer:
+  seeded, replayable thread interleavings (checkpoints at sanitized-lock
+  boundaries) driving the ``tests/analysis/test_races.py`` stress suite
+  and CI's ``race`` job.
 
 This subsystem is the correctness gate the ROADMAP's service layer runs
 behind: invariants that were reviewer-checked through PR 5 are
@@ -37,7 +44,8 @@ machine-checked from here on.
 from .findings import Baseline, Finding, apply_baseline
 from .fsck import FsckReport, Problem, fsck_archive, fsck_path, fsck_seriesdb
 from .linter import run_lint
-from .rules import RULE_CATALOGUE
+from .rules import RULE_CATALOGUE, RULE_EXAMPLES
+from .schedule import Scheduler, checkpoint, explore
 
 __all__ = [
     "Baseline",
@@ -45,7 +53,11 @@ __all__ = [
     "FsckReport",
     "Problem",
     "RULE_CATALOGUE",
+    "RULE_EXAMPLES",
+    "Scheduler",
     "apply_baseline",
+    "checkpoint",
+    "explore",
     "fsck_archive",
     "fsck_path",
     "fsck_seriesdb",

@@ -103,10 +103,12 @@ def run_lint(
     if check_registry:
         findings.extend(check_registry_specs(modules))
     if dataflow:
+        from .concurrency import check_guarded_by
         from .dataflow import check_lock_order, run_dataflow_rules
 
         for module in modules:
             findings.extend(run_dataflow_rules(module))
+            findings.extend(check_guarded_by(module))
         findings.extend(check_lock_order(modules))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     if baseline is not None:

@@ -132,6 +132,117 @@ RULE_CATALOGUE: dict[str, tuple[str, str]] = {
         "no bare lock.acquire() without release() in a finally",
         "use `with lock:`",
     ),
+    # Guarded-by inference (repro lint --dataflow), implemented in
+    # concurrency.py: inferred for every class creating a Lock/RLock.
+    "RPR801": (
+        "a field written both under and outside its inferred guard "
+        "(one unguarded write is a data race)",
+        "take the lock around every write, or stop guarding the field",
+    ),
+    "RPR802": (
+        "a public method mutates guarded state but never acquires the guard",
+        "wrap the method body in `with self._lock:` (the public API is "
+        "the locking boundary)",
+    ),
+    "RPR803": (
+        "guarded mutable state (dict/list/set/memoryview) escapes the lock "
+        "region via return/yield/stash",
+        "return a copy (dict(...)/list(...)/bytes(...)) instead of the "
+        "live container",
+    ),
+}
+
+#: rule id -> a minimal source example tripping it (``repro lint --explain``)
+RULE_EXAMPLES: dict[str, str] = {
+    "RPR000": 'def broken(:   # SyntaxError: no other rule can run\n    pass',
+    "RPR001": (
+        "class MyCodec(Compressed):   # concrete subclass...\n"
+        "    def size_bits(self):     # ...missing decompress() and access()\n"
+        "        return 0"
+    ),
+    "RPR002": (
+        '# lossy codec registered without a required eps param:\n'
+        'register_codec(CodecSpec("mylossy", factory, lossy=True, params={}))'
+    ),
+    "RPR101": 'struct.pack("<II", 1)   # format packs 2 fields, 1 value given',
+    "RPR102": "import struct   # outside the binary-layout modules",
+    "RPR201": (
+        'open(path, "wb").write(blob)   # a crash mid-write tears the file;\n'
+        "# route it through write_atomic() instead"
+    ),
+    "RPR301": (
+        "class SeriesDB:\n"
+        "    def count(self, sid):\n"
+        "        return len(self._stores[sid])   # shared state, no self._lock"
+    ),
+    "RPR401": "import pickle   # arbitrary code execution on load",
+    "RPR402": 'eval(expression)   # banned outright',
+    "RPR403": (
+        "arr = np.frombuffer(view, dtype=np.int64)\n"
+        "arr[0] = 42   # writes through the shared mapped bytes"
+    ),
+    "RPR501": (
+        "def frame(path):\n"
+        "    view = mmap_view(path)\n"
+        "    return view[8:16]   # derived view escapes without its map"
+    ),
+    "RPR502": (
+        "def open_frame(self, path):\n"
+        "    view = mmap_view(path)\n"
+        "    self._frame = view[8:16]   # stashed; the root/map is not"
+    ),
+    "RPR601": (
+        'def read(path):\n'
+        '    fh = open(path, "rb")\n'
+        "    data = parse(fh.read())   # if this raises, fh never closes\n"
+        "    fh.close()\n"
+        "    return data"
+    ),
+    "RPR602": (
+        "fh.close()\n"
+        "return fh.read()   # used on a path after its close()"
+    ),
+    "RPR701": (
+        "# thread 1:                # thread 2:\n"
+        "with lock_a:               with lock_b:\n"
+        "    with lock_b: ...           with lock_a: ...   # A->B vs B->A"
+    ),
+    "RPR702": (
+        "lock.acquire()\n"
+        "do_work()        # raises -> the lock is never released\n"
+        "lock.release()   # use `with lock:` instead"
+    ),
+    "RPR801": (
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n"
+        "    def add(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n"
+        "        self._n = 0   # also written outside the guard: a data race"
+    ),
+    "RPR802": (
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = {}\n"
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._state[k] = v\n"
+        "    def clear(self):\n"
+        "        self._state.clear()   # public mutator, never takes the lock"
+    ),
+    "RPR803": (
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = {}\n"
+        "    def snapshot(self):\n"
+        "        with self._lock:\n"
+        "            return self._state   # the live dict outlives the lock\n"
+        "            # return dict(self._state) is the sanctioned idiom"
+    ),
 }
 
 # -- RPR101 / RPR102: binary-format discipline ---------------------------------

@@ -282,7 +282,24 @@ def _cmd_generate(args) -> int:
 
 def _cmd_lint(args) -> int:
     from .analysis import RULE_CATALOGUE, Baseline, run_lint
+    from .analysis.rules import RULE_EXAMPLES
 
+    if args.explain:
+        rule_id = args.explain.upper()
+        if rule_id not in RULE_CATALOGUE:
+            known = ", ".join(sorted(RULE_CATALOGUE))
+            print(f"unknown rule {args.explain!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        title, hint = RULE_CATALOGUE[rule_id]
+        print(f"{rule_id}: {title}")
+        print(f"fix: {hint}")
+        example = RULE_EXAMPLES.get(rule_id)
+        if example:
+            print("\nminimal failing example:\n")
+            for line in example.splitlines():
+                print(f"    {line}")
+        return 0
     if args.rules:
         for rule_id, (title, hint) in sorted(RULE_CATALOGUE.items()):
             print(f"{rule_id}  {title}")
@@ -626,6 +643,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="rewrite the baseline to accept all current findings")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--explain", metavar="RULE_ID",
+                   help="print one rule's rationale and a minimal failing "
+                        "example (e.g. --explain RPR801), then exit")
     p.add_argument("--dataflow", action="store_true",
                    help="also run the CFG-based RPR5xx/6xx/7xx rules "
                         "(buffer lifetime, resource release, lock order)")

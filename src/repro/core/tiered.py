@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import zlib
+from typing import Callable
 
 import numpy as np
 
@@ -147,11 +148,28 @@ class TieredStore:
         self._cold: list = []  # consolidated Compressed runs, in order
         self._cold_counts: list[int] = []
         self._run_index: RunIndex | None = None  # rebuilt after mutations
+        # External-synchronisation contract: a TieredStore is NOT
+        # thread-safe; whoever shares one across threads owns the locking
+        # (SeriesDB holds its RLock around every store call).  An owner —
+        # or the REPRO_SANITIZE sanitizer — can arm this hook and every
+        # mutating entry point (append/extend/adopt_sealed/consolidate)
+        # will call it first, so unsynchronised mutation is detectable
+        # instead of silently corrupting tiers.
+        self._guard: Callable[[], None] | None = None
+
+    def _assert_guarded(self) -> None:
+        if self._guard is not None:
+            self._guard()
 
     # -- ingestion ------------------------------------------------------------
 
     def append(self, value: int) -> None:
-        """Append one value; seals the buffer when it reaches the threshold."""
+        """Append one value; seals the buffer when it reaches the threshold.
+
+        Not thread-safe: callers sharing this store synchronise externally
+        (see ``_guard``).
+        """
+        self._assert_guarded()
         self._buffer.append(int(value))
         if len(self._buffer) >= self._seal_threshold:
             self._seal()
@@ -164,7 +182,11 @@ class TieredStore:
         ``seal_threshold``-sized chunks are compressed directly from the
         input array instead of round-tripping through the Python-level
         write buffer — this is the batch-ingest hot path.
+
+        Not thread-safe: callers sharing this store synchronise externally
+        (see ``_guard``).
         """
+        self._assert_guarded()
         values = np.asarray(values, dtype=np.int64)
         if values.ndim != 1:
             raise ValueError("expected a 1-D array")
@@ -191,7 +213,11 @@ class TieredStore:
         values compressed with this store's hot codec — e.g. a frame
         produced by a :func:`repro.store.compress_many_frames` worker.  The
         write buffer is sealed first so global ordering is preserved.
+
+        Not thread-safe: callers sharing this store synchronise externally
+        (see ``_guard``).
         """
+        self._assert_guarded()
         if (
             self._hot_id is not None
             and block.codec_id is not None
@@ -245,7 +271,11 @@ class TieredStore:
         the decoded hot blocks — into a fresh run appended after the
         existing ones, so repeated consolidation never re-approximates an
         approximation and the ε guarantee holds against the originals.
+
+        Not thread-safe: callers sharing this store synchronise externally
+        (see ``_guard``).
         """
+        self._assert_guarded()
         if not self._hot:
             return
         parts = []

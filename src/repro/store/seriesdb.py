@@ -143,6 +143,7 @@ class SeriesDB:
         # Created before any shared state: every public method (and the
         # recovery path below) runs under this re-entrant lock.
         self._lock = threading.RLock()
+        self._closed = False
         self._root = Path(root)
         if cache_capacity is not None and cache_capacity < 1:
             raise ValueError("cache_capacity must be positive (or None)")
@@ -275,20 +276,39 @@ class SeriesDB:
             self.close()
 
     def close(self) -> None:
-        """Flush dirty shards, then drop the shard cache and WAL handles.
+        """Flush dirty shards, release the cache and WAL handles, poison.
 
         Dropping the cache releases any mmap-backed shard views the LRU was
         pinning (the ``lazy=True`` open path), so a long-lived process can
-        hand the directory to another owner without waiting for GC.  The
-        handle stays usable afterwards — shards simply reload from disk —
-        so ``close()`` is a cache/WAL release, not a poison pill (a second
-        process-level open of the directory is the real ownership change).
+        hand the directory to another owner without waiting for GC.  After
+        the first close the handle is dead: every later public call raises
+        ``ValueError`` (never ``AttributeError`` — no state is unset), and
+        a second ``close()`` is a no-op.  Closing races safely with
+        in-flight readers — close waits for the lock, and a reader that
+        loses the race gets the consistent ``ValueError`` on its *next*
+        call; values it already obtained stay valid.
         """
         with self._lock:
+            if self._closed:
+                return
             self.flush()
             self._stores.clear()
             self._cached_gen.clear()
             self._wals.clear()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the handle is then unusable)."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Called (under the lock) by every public method: dead means dead."""
+        if self._closed:
+            raise ValueError(
+                f"SeriesDB at {self._root} is closed; reopen with "
+                "SeriesDB.open() for a fresh handle"
+            )
 
     # -- introspection --------------------------------------------------------
 
@@ -300,19 +320,23 @@ class SeriesDB:
     def series_ids(self) -> list[str]:
         """Every series id, in ingestion order."""
         with self._lock:
+            self._check_open()
             return list(self._series)
 
     def __contains__(self, series_id: str) -> bool:
         with self._lock:
+            self._check_open()
             return series_id in self._series
 
     def __len__(self) -> int:
         with self._lock:
+            self._check_open()
             return len(self._series)
 
     def count(self, series_id: str) -> int:
         """Number of values in ``series_id`` — manifest-only, no shard load."""
         with self._lock:
+            self._check_open()
             if series_id in self._stores:
                 return len(self._stores[series_id])
             return int(self._entry(series_id)["count"])
@@ -320,11 +344,13 @@ class SeriesDB:
     def digits(self, series_id: str) -> int:
         """Decimal scaling recorded for ``series_id`` at ingest time."""
         with self._lock:
+            self._check_open()
             return int(self._entry(series_id).get("digits", 0))
 
     def cache_info(self) -> dict:
         """Shard-cache occupancy: capacity, open shards, pinned (dirty) ones."""
         with self._lock:
+            self._check_open()
             return {
                 "capacity": self._cache_capacity,
                 "cached": len(self._stores),
@@ -335,6 +361,7 @@ class SeriesDB:
     def info(self) -> dict:
         """Configuration plus a per-series summary (counts, tiers, shards)."""
         with self._lock:
+            self._check_open()
             series = {}
             for sid, entry in self._series.items():
                 entry = dict(entry)
@@ -365,6 +392,7 @@ class SeriesDB:
         if values.ndim != 1:
             raise ValueError(f"series {series_id!r}: expected a 1-D array")
         with self._lock:
+            self._check_open()
             self._check_digits(series_id, digits)
             store = self._store_for_ingest(series_id)
             self._apply_digits(series_id, digits)
@@ -389,6 +417,7 @@ class SeriesDB:
         Returns series id -> new total count.
         """
         with self._lock:
+            self._check_open()
             threshold = int(self._config["seal_threshold"])
             # Phase 1 — validate everything and plan chunk boundaries without
             # mutating any store, so a bad series (or a pool failure in phase
@@ -474,16 +503,19 @@ class SeriesDB:
     def access(self, series_id: str, k: int) -> int:
         """The value at position ``k`` of ``series_id``."""
         with self._lock:
+            self._check_open()
             return self._load(series_id).access(k)
 
     def range(self, series_id: str, lo: int, hi: int) -> np.ndarray:
         """Values at positions ``[lo, hi)`` of ``series_id``."""
         with self._lock:
+            self._check_open()
             return self._load(series_id).range(lo, hi)
 
     def decompress(self, series_id: str) -> np.ndarray:
         """Every value of ``series_id``, in order."""
         with self._lock:
+            self._check_open()
             return self._load(series_id).decompress()
 
     def store(self, series_id: str) -> TieredStore:
@@ -495,6 +527,7 @@ class SeriesDB:
         :meth:`flush` — byte-identically when it was not actually mutated.
         """
         with self._lock:
+            self._check_open()
             live = self._load(series_id)
             self._dirty.add(series_id)
             return live
@@ -502,6 +535,7 @@ class SeriesDB:
     def mark_dirty(self, series_id: str) -> None:
         """Flag a shard as modified outside the SeriesDB API."""
         with self._lock:
+            self._check_open()
             self._load(series_id)  # flush rewrites from the live store
             self._dirty.add(series_id)
 
@@ -517,6 +551,7 @@ class SeriesDB:
         Returns the ids that were compacted.
         """
         with self._lock:
+            self._check_open()
             compacted = []
             for sid in self._series:
                 if sid in self._stores:
@@ -545,6 +580,7 @@ class SeriesDB:
         file is dropped post-commit alongside the replaced shard.
         """
         with self._lock:
+            self._check_open()
             replaced: list[Path] = []
             for sid in sorted(self._dirty):
                 store = self._stores[sid]

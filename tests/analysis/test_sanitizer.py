@@ -148,6 +148,275 @@ class TestLockOrder:
         assert ledger.report()["inversions"] == []
 
 
+class TestMultiThreadedLockOrder:
+    """PR 7's bookkeeping under real contention: 8 interleaving threads."""
+
+    def test_eight_threads_consistent_order_is_clean(self, ledger):
+        locks = [SanitizedLock(f"L{i}", ledger) for i in range(4)]
+        barrier = threading.Barrier(8)
+
+        def worker(rounds: int = 25) -> None:
+            barrier.wait()  # maximise real interleaving
+            for _ in range(rounds):
+                with locks[0]:
+                    with locks[1]:
+                        with locks[3]:
+                            pass
+                with locks[1]:
+                    with locks[2]:
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report = ledger.report()
+        assert report["inversions"] == []
+        # Every thread drained its own held-stack back to empty.
+        assert ledger._stack_of() == []
+
+    def test_eight_threads_inversion_detected_once_per_edge(self, ledger):
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        barrier = threading.Barrier(8)
+        # A plain (untracked) gate serialises the nested sections: the
+        # ledger still sees both A->B and B->A orders, but the test can't
+        # hit the real ABBA deadlock it is linting for.
+        gate = threading.Lock()
+
+        def forward():
+            barrier.wait()
+            for _ in range(10):
+                with gate:
+                    with a:
+                        with b:
+                            pass
+
+        def backward():
+            barrier.wait()
+            for _ in range(10):
+                with gate:
+                    with b:
+                        with a:
+                            pass
+
+        threads = [
+            threading.Thread(target=forward if i % 2 else backward)
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        inversions = ledger.report()["inversions"]
+        assert inversions  # both orders really happened
+        edges = {(inv["edge"], inv["reverse"]) for inv in inversions}
+        assert edges <= {("A -> B", "B -> A"), ("B -> A", "A -> B")}
+
+    def test_per_thread_stacks_do_not_bleed(self, ledger):
+        """A lock held in one thread is invisible to another's stack."""
+        a = SanitizedLock("A", ledger)
+        b = SanitizedLock("B", ledger)
+        a_held = threading.Event()
+        release_a = threading.Event()
+        seen: list[list[str]] = []
+
+        def holder():
+            with a:
+                a_held.set()
+                release_a.wait(5)
+
+        def observer():
+            a_held.wait(5)
+            with b:
+                seen.append(list(ledger._stack_of()))
+            release_a.set()
+
+        t1 = threading.Thread(target=holder)
+        t2 = threading.Thread(target=observer)
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert seen == [["B"]]  # not ["A", "B"]: A is another thread's
+        assert ledger.report()["inversions"] == []
+
+
+class TestVectorClockRaces:
+    def test_unordered_writes_race_with_both_stacks(self, ledger):
+        """The acceptance fixture: a de-synchronised class, two threads."""
+
+        class Desynchronised:
+            def poke(self):
+                ledger.note_write("Desynchronised.state")
+
+        obj = Desynchronised()
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            obj.poke()
+
+        t1 = threading.Thread(target=worker, name="racer-1")
+        t2 = threading.Thread(target=worker, name="racer-2")
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        report = ledger.report()
+        assert not report["clean"]
+        (race,) = report["races"]
+        assert race["kind"] == "write-write"
+        assert race["var"] == "Desynchronised.state"
+        assert {race["thread"], race["prior_thread"]} == {"racer-1", "racer-2"}
+        assert race["stack"] and race["prior_stack"]  # both stacks attached
+        assert any("poke" in frame for frame in race["stack"])
+        rendered = ledger.render()
+        assert "DATA RACE" in rendered
+        assert "unordered with" in rendered
+
+    def test_lock_ordered_writes_are_clean(self, ledger):
+        lock = SanitizedLock("G", ledger)
+
+        def worker():
+            for _ in range(5):
+                with lock:
+                    ledger.note_write("guarded.state")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ledger.report()["races"] == []
+
+    def test_fork_join_edges_order_accesses(self, ledger):
+        """Parent-before-start and join-before-parent need no lock."""
+        ledger.note_write("handoff.state")
+
+        def child():
+            ledger.note_write("handoff.state")
+
+        t = threading.Thread(target=child)
+        t.start()
+        t.join()
+        ledger.note_write("handoff.state")
+        assert ledger.report()["races"] == []
+
+    def test_write_read_race_detected(self, ledger):
+        done = threading.Event()
+
+        def writer():
+            ledger.note_write("wr.state")
+            done.set()  # plain Event: NOT a happens-before edge
+
+        t = threading.Thread(target=writer, name="writer")
+        t.start()
+        done.wait(5)
+        ledger.note_read("wr.state")  # before join: unordered
+        t.join()
+        (race,) = ledger.report()["races"]
+        assert race["kind"] == "write-read"
+
+    def test_read_after_join_is_ordered(self, ledger):
+        def writer():
+            ledger.note_write("rj.state")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        t.join()
+        ledger.note_read("rj.state")
+        assert ledger.report()["races"] == []
+
+    def test_duplicate_races_report_once(self, ledger):
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            for _ in range(20):
+                ledger.note_write("dup.state")
+
+        t1 = threading.Thread(target=worker, name="d1")
+        t2 = threading.Thread(target=worker, name="d2")
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        races = ledger.report()["races"]
+        assert races  # detected...
+        assert len(races) <= 4  # ...but deduplicated, not 20+ copies
+
+    def test_held_by_current_thread(self, ledger):
+        lock = SanitizedLock("H", ledger)
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+            with lock:  # re-entrant: still held
+                assert lock.held_by_current_thread()
+            assert lock.held_by_current_thread()
+        assert not lock.held_by_current_thread()
+
+        observed = []
+
+        def other():
+            observed.append(lock.held_by_current_thread())
+
+        with lock:
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert observed == [False]  # held, but not by that thread
+
+
+class TestSeriesDBRaceHooks:
+    def test_locked_concurrent_use_is_clean(self, ledger, tmp_path, series):
+        """The whole-suite sanitize job's contract: correct use, no races."""
+        db = repro.SeriesDB(tmp_path / "db", hot_codec="gorilla",
+                            seal_threshold=256)
+        db.ingest("s1", series)
+
+        def hammer(sid):
+            db.ingest(sid, series[:500])
+            db.access(sid, 10)
+            db.flush()
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        db.close()
+        report = ledger.report()
+        assert report["races"] == []
+        assert report["inversions"] == []
+
+    def test_unlocked_store_mutation_races(self, ledger, tmp_path, series):
+        """Direct TieredStore mutation from two threads, no db lock: the
+        armed ``_guard`` hook routes it into the happens-before check."""
+        db = repro.SeriesDB(tmp_path / "db", hot_codec="gorilla",
+                            seal_threshold=256)
+        db.ingest("s1", series)
+        store = db.store("s1")  # sanctioned direct handle
+        barrier = threading.Barrier(2)
+
+        def mutate():
+            barrier.wait()
+            store.extend(np.arange(10, dtype=np.int64))
+
+        t1 = threading.Thread(target=mutate, name="m1")
+        t2 = threading.Thread(target=mutate, name="m2")
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        races = ledger.report()["races"]
+        assert races
+        assert any(":store:s1" in race["var"] for race in races)
+
+
 class TestEnableDisable:
     def test_disable_restores_patches(self, ledger, archive_path):
         from repro.codecs import container

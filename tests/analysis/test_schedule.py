@@ -1,0 +1,183 @@
+"""Tests for the deterministic schedule explorer (repro.analysis.schedule)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.schedule import Scheduler, checkpoint, explore
+
+
+def _interleaver(name: str, log: list, steps: int = 3):
+    """A task body that logs its name at each of ``steps`` checkpoints."""
+
+    def body():
+        for i in range(steps):
+            log.append(f"{name}:{i}")
+            checkpoint(f"step-{i}")
+
+    return body
+
+
+class TestDeterminism:
+    def test_seeded_trace_is_byte_identical_across_runs(self):
+        # The ISSUE acceptance criterion: same (tasks, seed) -> the same
+        # interleaving, byte for byte, across two independent runs.
+        def run_once(seed: int) -> tuple[str, list]:
+            log: list = []
+            sched = Scheduler(seed)
+            sched.add("a", _interleaver("a", log))
+            sched.add("b", _interleaver("b", log))
+            sched.add("c", _interleaver("c", log))
+            trace = sched.run()
+            return json.dumps(trace), log
+
+        first_trace, first_log = run_once(seed=42)
+        second_trace, second_log = run_once(seed=42)
+        assert first_trace == second_trace
+        assert first_log == second_log
+
+    def test_different_seeds_give_different_interleavings(self):
+        # With 3 tasks x 4 checkpoints the schedule space is large; at
+        # least one of a handful of seeds must diverge from seed 0.
+        def trace_for(seed: int) -> str:
+            sched = Scheduler(seed)
+            log: list = []
+            for name in ("a", "b", "c"):
+                sched.add(name, _interleaver(name, log, steps=4))
+            return json.dumps(sched.run())
+
+        base = trace_for(0)
+        assert any(trace_for(seed) != base for seed in (1, 2, 3, 4))
+
+    def test_trace_is_json_serialisable_steps(self):
+        sched = Scheduler(7)
+        sched.add("only", _interleaver("only", []))
+        trace = sched.run()
+        # [[step, task, label], ...] with a final <exit> entry per task.
+        assert trace[0][0] == 0
+        assert [entry[1] for entry in trace] == ["only"] * len(trace)
+        assert trace[-1][2] == "<exit>"
+        assert [entry[2] for entry in trace[:-1]] == [
+            "step-0", "step-1", "step-2"
+        ]
+
+
+class TestSchedulingSemantics:
+    def test_single_task_runs_at_a_time(self):
+        # Mutate shared state with no lock: under the scheduler this is
+        # serial, so the unprotected counter never loses an update.
+        counter = {"n": 0}
+
+        def bump():
+            for _ in range(50):
+                value = counter["n"]
+                checkpoint("read")
+                counter["n"] = value + 1
+                checkpoint("wrote")
+
+        # Without cooperative scheduling two such tasks would be expected
+        # to lose updates; the serialised run must not.  (Each task's
+        # read..write window spans a checkpoint, so a preemptive
+        # interleaving WOULD interleave them — the scheduler still keeps
+        # exactly one task running between checkpoints, and lost updates
+        # are possible only across checkpoints, which is precisely what
+        # the race suite uses the scheduler to provoke.)
+        sched = Scheduler(3)
+        sched.add("a", bump)
+        sched.add("b", bump)
+        sched.run()
+        # Updates may be lost ACROSS checkpoints (that's the point of the
+        # tool), but the final count is a pure function of the seed.
+        once = counter["n"]
+        counter["n"] = 0
+        sched2 = Scheduler(3)
+        sched2.add("a", bump)
+        sched2.add("b", bump)
+        sched2.run()
+        assert counter["n"] == once
+
+    def test_checkpoint_is_noop_off_schedule(self):
+        # Calling checkpoint() on a thread the scheduler does not own must
+        # be harmless — instrumented library code runs in plain tests too.
+        checkpoint("not-scheduled")
+        result: list = []
+        thread = threading.Thread(target=lambda: result.append(checkpoint()))
+        thread.start()
+        thread.join()
+        assert result == [None]
+
+    def test_task_errors_are_reraised(self):
+        def boom():
+            checkpoint("pre")
+            raise ValueError("scheduled failure")
+
+        sched = Scheduler(0)
+        sched.add("boom", boom)
+        with pytest.raises(ValueError, match="scheduled failure"):
+            sched.run()
+
+    def test_stuck_task_fails_loudly(self):
+        # A task that blocks forever (here: on a lock nobody releases)
+        # must trip the per-step timeout with a named error, not hang.
+        stuck_lock = threading.Lock()
+        stuck_lock.acquire()
+
+        def stuck():
+            checkpoint("about-to-block")
+            stuck_lock.acquire()  # never succeeds
+
+        sched = Scheduler(0, step_timeout=0.2)
+        sched.add("wedged", stuck)
+        try:
+            with pytest.raises(RuntimeError, match="wedged"):
+                sched.run()
+        finally:
+            stuck_lock.release()  # let the daemon thread exit
+
+    def test_duplicate_task_names_rejected(self):
+        sched = Scheduler(0)
+        sched.add("a", lambda: None)
+        with pytest.raises(ValueError, match="duplicate"):
+            sched.add("a", lambda: None)
+
+    def test_add_after_run_starts_rejected(self):
+        sched = Scheduler(0)
+
+        def adder():
+            with pytest.raises(RuntimeError, match="running"):
+                sched.add("late", lambda: None)
+
+        sched.add("adder", adder)
+        sched.run()
+
+    def test_empty_scheduler_returns_empty_trace(self):
+        assert Scheduler(0).run() == []
+
+
+class TestExplore:
+    def test_explore_runs_one_trace_per_seed(self):
+        logs: dict[int, list] = {}
+
+        def make(sched: Scheduler):
+            log: list = []
+            logs[sched.seed] = log
+            sched.add("x", _interleaver("x", log))
+            sched.add("y", _interleaver("y", log))
+
+        traces = explore(make, seeds=(0, 1, 2))
+        assert sorted(traces) == [0, 1, 2]
+        for seed, trace in traces.items():
+            assert len(trace) > 0
+            assert len(logs[seed]) == 6  # 2 tasks x 3 steps each
+
+    def test_explore_replays_identically(self):
+        def make(sched: Scheduler):
+            sched.add("x", _interleaver("x", []))
+            sched.add("y", _interleaver("y", []))
+
+        first = explore(make, seeds=(5,))
+        second = explore(make, seeds=(5,))
+        assert json.dumps(first) == json.dumps(second)

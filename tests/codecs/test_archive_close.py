@@ -113,5 +113,10 @@ def test_seriesdb_close_flushes_and_reopens(tmp_path, series):
     db2 = repro.SeriesDB(tmp_path / "db", hot_codec="gorilla")
     assert np.array_equal(db2.decompress("s1"), series)
     db2.close()
-    # close() is a cache release, not a poison pill: the handle still works.
-    assert np.array_equal(db2.decompress("s1"), series)
+    # close() poisons the handle (idempotently): later calls raise the
+    # contracted ValueError, and a fresh open still reads everything.
+    db2.close()
+    with pytest.raises(ValueError, match="closed"):
+        db2.decompress("s1")
+    with repro.SeriesDB(tmp_path / "db", hot_codec="gorilla") as db3:
+        assert np.array_equal(db3.decompress("s1"), series)
