@@ -66,6 +66,16 @@ compaction)::
     db = repro.SeriesDB("dbdir", hot_codec="gorilla", cold_codec="neats")
     db.ingest_many(series_by_id, workers=4); db.compact(); db.flush()
 
+Past one directory: :class:`PartitionedSeriesDB` shards the keyspace over
+N independent SeriesDB partitions (hash-placed series, per-partition
+locks/WALs, group-commit fsyncs, process fan-out for ingest and
+compaction, scatter-gather reads), behind the same ``SeriesStore``
+protocol — :func:`open_store` opens either kind::
+
+    pdb = repro.PartitionedSeriesDB("bigdir", partitions=4)
+    pdb.ingest_many(series_by_id, workers=4)   # one fsync per partition
+    repro.open_store("bigdir").access("cpu", 123)
+
 Integrity tooling: :func:`fsck` structurally verifies any archive or
 SeriesDB directory offline (``deep=True`` decodes every frame), and
 :func:`run_lint` runs the repo's AST-based invariant linter — both also
@@ -105,9 +115,16 @@ from .core import (
     default_eps_set,
 )
 from .data import dataset_names, load
-from .store import SeriesDB, compress_many, compress_many_frames
+from .store import (
+    PartitionedSeriesDB,
+    SeriesDB,
+    SeriesStore,
+    compress_many,
+    compress_many_frames,
+    open_store,
+)
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 # REPRO_SANITIZE=1 turns on the runtime sanitizer for the whole process:
 # mmap/lock instrumentation with a leak report at interpreter exit (see
@@ -129,6 +146,9 @@ __all__ = [
     "compress_many",
     "compress_many_frames",
     "SeriesDB",
+    "SeriesStore",
+    "PartitionedSeriesDB",
+    "open_store",
     "save",
     "open_archive",
     "append_open",

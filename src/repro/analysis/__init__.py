@@ -42,7 +42,14 @@ machine-checked from here on.
 """
 
 from .findings import Baseline, Finding, apply_baseline
-from .fsck import FsckReport, Problem, fsck_archive, fsck_path, fsck_seriesdb
+from .fsck import (
+    FsckReport,
+    Problem,
+    fsck_archive,
+    fsck_partitioned,
+    fsck_path,
+    fsck_seriesdb,
+)
 from .linter import run_lint
 from .rules import RULE_CATALOGUE, RULE_EXAMPLES
 from .schedule import Scheduler, checkpoint, explore
@@ -59,6 +66,7 @@ __all__ = [
     "checkpoint",
     "explore",
     "fsck_archive",
+    "fsck_partitioned",
     "fsck_path",
     "fsck_seriesdb",
     "run_lint",

@@ -40,16 +40,20 @@ from ..codecs import serialize
 from ..codecs.container import (
     APPEND_MAGIC,
     ARCHIVE_MAGIC,
+    GROUP_MAGIC,
     LEGACY_MAGIC,
     _APPEND_HEADER,
+    _GROUP_HEADER,
+    _GROUP_RECORD,
     _HEADER,
     _RECORD,
 )
 from ..codecs.registry import available_codecs, codec_spec, load_compressed
+from ..store.partitioned import PARTITION_MANIFEST_FORMAT, _PART_DIR
 from ..store.seriesdb import MANIFEST_FORMAT, MANIFEST_NAME
 
 __all__ = ["Problem", "FsckReport", "fsck_path", "fsck_archive", "fsck_seriesdb",
-           "PROBLEM_CODES"]
+           "fsck_partitioned", "PROBLEM_CODES"]
 
 #: problem code -> one-line meaning (the catalogue README documents)
 PROBLEM_CODES: dict[str, str] = {
@@ -79,6 +83,11 @@ PROBLEM_CODES: dict[str, str] = {
     "FSK027": "WAL configuration conflicts with the manifest (codec/digits)",
     "FSK028": "dangling file in shards/ (no manifest reference)",
     "FSK029": "series replay count (snapshot + WAL) inconsistent",
+    "FSK030": "partitioned root manifest invalid",
+    "FSK031": "partition directory missing or not a SeriesDB",
+    "FSK032": "partition map / partition manifest disagree (overlap or orphan)",
+    "FSK033": "group WAL structurally defective",
+    "FSK034": "group WAL configuration conflicts with the manifest",
 }
 
 
@@ -99,7 +108,9 @@ class FsckReport:
     """Everything one fsck run found, JSON-serialisable."""
 
     target: str
-    kind: str  #: 'archive' | 'appendable' | 'legacy' | 'seriesdb' | 'unknown'
+    #: 'archive' | 'appendable' | 'legacy' | 'seriesdb' | 'partitioned'
+    #: | 'unknown'
+    kind: str
     deep: bool = False
     problems: list[Problem] = field(default_factory=list)
     #: structures positively verified (frames, records, series, shards)
@@ -153,9 +164,24 @@ class FsckReport:
 
 
 def fsck_path(target, *, deep: bool = False) -> FsckReport:
-    """Dispatch: a directory fscks as a SeriesDB, a file as an archive."""
+    """Dispatch: a directory fscks as a (partitioned) SeriesDB, a file as an archive.
+
+    Directory dispatch reads the manifest's ``format`` field: a
+    ``RPPD0001`` root recurses into every partition
+    (:func:`fsck_partitioned`), anything else is checked as a single-dir
+    SeriesDB — whose own manifest checks then report what is wrong.
+    """
     target = Path(target)
     if target.is_dir():
+        try:
+            manifest = json.loads((target / MANIFEST_NAME).read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            manifest = None
+        if (
+            isinstance(manifest, dict)
+            and manifest.get("format") == PARTITION_MANIFEST_FORMAT
+        ):
+            return fsck_partitioned(target, deep=deep)
         return fsck_seriesdb(target, deep=deep)
     return fsck_archive(target, deep=deep)
 
@@ -431,6 +457,127 @@ def _fsck_shard(
     return count
 
 
+def _fsck_group_log(
+    report: FsckReport, path: Path, manifest: dict, deep: bool
+) -> dict[str, int]:
+    """Structurally verify one group-commit WAL (``RPGW0001``).
+
+    Returns per-series value counts taken from the frame headers, so the
+    caller can fold them into the deep replay cross-check (FSK029).
+    """
+    counts: dict[str, int] = {}
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        report.add("FSK001", path, str(exc))
+        return counts
+    if data[:8] != GROUP_MAGIC:
+        report.add(
+            "FSK033", path,
+            f"magic {data[:8]!r} is not a group WAL ({GROUP_MAGIC!r})",
+        )
+        return counts
+    if len(data) < _GROUP_HEADER.size:
+        report.add(
+            "FSK033", path,
+            f"{len(data)} bytes, group header needs {_GROUP_HEADER.size}",
+        )
+        return counts
+    _, idlen, plen = _GROUP_HEADER.unpack_from(data)
+    pos = _GROUP_HEADER.size
+    if len(data) < pos + idlen + plen:
+        report.add(
+            "FSK033", path,
+            f"header says {idlen}+{plen} id/params bytes, only "
+            f"{len(data) - pos} present",
+        )
+        return counts
+    try:
+        codec_id = data[pos:pos + idlen].decode("utf-8")
+        params = json.loads(data[pos + idlen:pos + idlen + plen])
+        if not isinstance(params, dict):
+            raise ValueError("params are not a JSON object")
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
+        report.add("FSK033", path, f"corrupt codec id/params block: {exc}")
+        return counts
+    if codec_id not in available_codecs():
+        report.add("FSK007", path, f"codec {codec_id!r} is not registered")
+    hot_codec = manifest.get("hot_codec")
+    if hot_codec and codec_id != hot_codec:
+        report.add(
+            "FSK034", path,
+            f"group WAL codec {codec_id!r} != configured hot codec "
+            f"{hot_codec!r}",
+        )
+    series = manifest.get("series")
+    series = series if isinstance(series, dict) else {}
+    pos += idlen + plen
+    index = 0
+    while len(data) - pos >= _GROUP_RECORD.size:
+        sid_len, digits, frame_len, crc = _GROUP_RECORD.unpack_from(data, pos)
+        sid_start = pos + _GROUP_RECORD.size
+        frame_start = sid_start + sid_len
+        label = f"record {index}"
+        if sid_len == 0 or frame_start + frame_len > len(data):
+            report.add(
+                "FSK012", path,
+                f"{label}: lengths {sid_len}+{frame_len} overrun the file "
+                f"by {frame_start + frame_len - len(data)} bytes",
+            )
+            break
+        try:
+            sid = data[sid_start:frame_start].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            report.add("FSK033", path, f"{label}: series id not UTF-8: {exc}")
+            break
+        frame = data[frame_start:frame_start + frame_len]
+        entry = series.get(sid)
+        if isinstance(entry, dict) and int(entry.get("digits", 0)) != digits:
+            report.add(
+                "FSK034", path,
+                f"{label}: series {sid!r} digits {digits} != manifest "
+                f"digits {entry.get('digits', 0)}",
+            )
+        try:
+            span = serialize.frame_span(frame)
+        except ValueError as exc:
+            report.add("FSK016", path, f"{label}: {exc}")
+            break
+        if span != frame_len:
+            report.add(
+                "FSK016", path,
+                f"{label}: record says {frame_len} frame bytes, frame "
+                f"accounts for {span}",
+            )
+            break
+        if zlib.crc32(frame) != crc:
+            report.add(
+                "FSK013", path,
+                f"{label}: frame crc32 {zlib.crc32(frame):#010x} != "
+                f"recorded {crc:#010x}",
+            )
+            # the chain structure is sound: keep walking the tail
+            pos = frame_start + frame_len
+            index += 1
+            continue
+        _check_frame(report, path, f"{label} (series {sid!r})", frame, deep=deep)
+        try:
+            counts[sid] = counts.get(sid, 0) + serialize.read_frame(frame).n
+        except ValueError:
+            pass  # _check_frame reported FSK006 for this frame already
+        report.tally("records")
+        pos = frame_start + frame_len
+        index += 1
+    if pos < len(data):
+        report.add(
+            "FSK015", path,
+            f"{len(data) - pos} byte(s) beyond the last complete record "
+            "(interrupted group append; the next writer truncates them)",
+        )
+    report.tally("group_wals")
+    return counts
+
+
 def fsck_seriesdb(root, *, deep: bool = False) -> FsckReport:
     """Cross-check a SeriesDB directory: manifest <-> shards <-> WALs."""
     root = Path(root)
@@ -522,6 +669,21 @@ def fsck_seriesdb(root, *, deep: bool = False) -> FsckReport:
                             f"series {sid!r}: WAL header unreadable: {exc}",
                         )
         expected_counts[sid] = int(entry.get("count", 0)) + wal_count
+    group_rel = manifest.get("group_wal")
+    if group_rel:
+        referenced.add(group_rel)
+        if not bool(manifest.get("group_commit", False)):
+            report.add(
+                "FSK034", manifest_path,
+                f"manifest references group WAL {group_rel!r} but "
+                "group_commit is off",
+            )
+        group_path = root / group_rel
+        # Absent is fine: group logs are created lazily at first append.
+        if group_path.exists():
+            group_counts = _fsck_group_log(report, group_path, manifest, deep)
+            for sid, n in group_counts.items():
+                expected_counts[sid] = expected_counts.get(sid, 0) + n
     shard_dir = root / "shards"
     if shard_dir.is_dir():
         for file in sorted(shard_dir.iterdir()):
@@ -557,4 +719,113 @@ def fsck_seriesdb(root, *, deep: bool = False) -> FsckReport:
                         f"series {sid!r}: replays to {live} values, "
                         f"snapshot + WAL account for {expected}",
                     )
+    return report
+
+
+# -- partitioned roots ---------------------------------------------------------
+
+
+def fsck_partitioned(root, *, deep: bool = False) -> FsckReport:
+    """Recursively verify a partitioned SeriesDB root (``RPPD0001``).
+
+    The root manifest is checked first (FSK030 on any structural defect);
+    then every partition directory is located (FSK031 when missing) and
+    handed to :func:`fsck_seriesdb`, whose findings are merged verbatim —
+    per-partition problems keep their original codes and paths, so
+    ``--json`` consumers see exactly where inside the tree each defect
+    lives.  Finally the root partition map is cross-checked against what
+    each partition's own manifest claims: a series present in two
+    partitions, present but unmapped, mapped to the wrong partition, or
+    mapped but present nowhere all report FSK032.
+    """
+    root = Path(root)
+    report = FsckReport(target=str(root), kind="partitioned", deep=deep)
+    manifest_path = root / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text("utf-8"))
+    except OSError as exc:
+        report.add("FSK001", manifest_path, str(exc))
+        return report
+    except json.JSONDecodeError as exc:
+        report.add("FSK020", manifest_path, f"manifest is not JSON: {exc}")
+        return report
+    if manifest.get("format") != PARTITION_MANIFEST_FORMAT:
+        report.add(
+            "FSK030", manifest_path,
+            f"manifest format {manifest.get('format')!r} != "
+            f"{PARTITION_MANIFEST_FORMAT!r}",
+        )
+        return report
+    partitions = manifest.get("partitions")
+    if not isinstance(partitions, int) or partitions < 1:
+        report.add(
+            "FSK030", manifest_path,
+            f"partition count {partitions!r} is not a positive integer",
+        )
+        return report
+    series_map = manifest.get("series")
+    if not isinstance(series_map, dict):
+        report.add("FSK030", manifest_path, "manifest has no partition map")
+        return report
+    for sid, part in series_map.items():
+        if not isinstance(part, int) or not 0 <= part < partitions:
+            report.add(
+                "FSK030", manifest_path,
+                f"series {sid!r} mapped to partition {part!r}, valid "
+                f"range is 0..{partitions - 1}",
+            )
+    owned: dict[str, int] = {}
+    readable: set[int] = set()
+    for part in range(partitions):
+        part_dir = root / _PART_DIR.format(part)
+        part_manifest = part_dir / MANIFEST_NAME
+        if not part_manifest.is_file():
+            report.add(
+                "FSK031", part_dir,
+                f"partition {part}: directory missing or has no manifest",
+            )
+            continue
+        sub = fsck_seriesdb(part_dir, deep=deep)
+        report.problems.extend(sub.problems)
+        for key, value in sub.checked.items():
+            report.tally(key, value)
+        report.tally("partitions")
+        try:
+            part_series = json.loads(
+                part_manifest.read_text("utf-8")
+            ).get("series")
+        except (OSError, json.JSONDecodeError, AttributeError):
+            continue  # fsck_seriesdb reported it; skip the cross-check
+        if not isinstance(part_series, dict):
+            continue
+        readable.add(part)
+        for sid in part_series:
+            if sid in owned:
+                report.add(
+                    "FSK032", part_dir,
+                    f"series {sid!r} present in partitions {owned[sid]} "
+                    f"and {part}",
+                )
+                continue
+            owned[sid] = part
+            mapped = series_map.get(sid)
+            if mapped is None:
+                report.add(
+                    "FSK032", part_dir,
+                    f"series {sid!r} lives in partition {part} but the "
+                    "partition map has no entry for it",
+                )
+            elif mapped != part:
+                report.add(
+                    "FSK032", part_dir,
+                    f"series {sid!r} lives in partition {part}, the "
+                    f"partition map places it in {mapped}",
+                )
+    for sid, part in series_map.items():
+        if sid not in owned and isinstance(part, int) and part in readable:
+            report.add(
+                "FSK032", manifest_path,
+                f"partition map claims series {sid!r} in partition "
+                f"{part}, but that partition has no such series",
+            )
     return report

@@ -35,6 +35,14 @@ monkeypatches the chokepoints:
   store mutation participates in the same happens-before check.  Fixture
   classes can join in by calling :meth:`Ledger.note_read` /
   :meth:`Ledger.note_write` themselves.
+* :meth:`repro.store.partitioned.PartitionedSeriesDB.__init__` and
+  ``_assign`` — the façade's ``RLock`` becomes a :class:`SanitizedLock`
+  too (façade-then-partition nesting feeds the same inversion graph), and
+  every partition-map mutation notes a write on
+  ``PartitionedSeriesDB@<root>:partition-map``, so unordered concurrent
+  placement of new series is reported as a data race.  Group-commit WAL
+  appends (``_append_wal_group``) note the same ``:wal`` domain as
+  per-series appends.
 
 The verdict (:meth:`Ledger.report`): ``leaks`` (live unclosed maps after a
 ``gc.collect()``), ``inversions``, and ``races`` fail a sanitized run;
@@ -461,7 +469,7 @@ def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Led
     _active = ledger or Ledger()
 
     from ..codecs import container
-    from ..store import seriesdb
+    from ..store import partitioned, seriesdb
 
     _saved["mmap_view"] = container.mmap_view
     _saved["seriesdb_mmap_view"] = seriesdb.mmap_view
@@ -473,7 +481,10 @@ def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Led
     _saved["db_store_for_ingest"] = seriesdb.SeriesDB._store_for_ingest
     _saved["db_flush"] = seriesdb.SeriesDB.flush
     _saved["db_append_wal"] = seriesdb.SeriesDB._append_wal
+    _saved["db_append_wal_group"] = seriesdb.SeriesDB._append_wal_group
     _saved["db_close"] = seriesdb.SeriesDB.close
+    _saved["pdb_init"] = partitioned.PartitionedSeriesDB.__init__
+    _saved["pdb_assign"] = partitioned.PartitionedSeriesDB._assign
 
     original_view = container.mmap_view
 
@@ -551,11 +562,22 @@ def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Led
 
     original_append_wal = seriesdb.SeriesDB._append_wal
 
-    def traced_append_wal(self, series_id, values):
+    def traced_append_wal(self, series_id, values, **kwargs):
         ledger = _active
         if ledger is not None:
             ledger.note_write(f"SeriesDB@{self._root}:wal")
-        return original_append_wal(self, series_id, values)
+        return original_append_wal(self, series_id, values, **kwargs)
+
+    original_append_wal_group = seriesdb.SeriesDB._append_wal_group
+
+    def traced_append_wal_group(self, batches):
+        # Group commit writes one shared log, but the guarded state is the
+        # same WAL domain as per-series appends — use the same label so a
+        # racy mix of the two modes is still a conflict on one variable.
+        ledger = _active
+        if ledger is not None:
+            ledger.note_write(f"SeriesDB@{self._root}:wal")
+        return original_append_wal_group(self, batches)
 
     original_close = seriesdb.SeriesDB.close
 
@@ -566,6 +588,24 @@ def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Led
                 ledger.note_write(f"SeriesDB@{self._root}:shard-cache")
                 ledger.note_write(f"SeriesDB@{self._root}:wal")
             return original_close(self)
+
+    original_pdb_init = partitioned.PartitionedSeriesDB.__init__
+
+    def traced_pdb_init(self, *args, **kwargs):
+        original_pdb_init(self, *args, **kwargs)
+        if _active is not None:
+            name = f"PartitionedSeriesDB._lock@{getattr(self, '_root', '?')}"
+            self._lock = SanitizedLock(name, _active)
+
+    original_assign = partitioned.PartitionedSeriesDB._assign
+
+    def traced_assign(self, series_id):
+        ledger = _active
+        if ledger is not None:
+            ledger.note_write(
+                f"PartitionedSeriesDB@{self._root}:partition-map"
+            )
+        return original_assign(self, series_id)
 
     container.mmap_view = traced_mmap_view
     # seriesdb imported the function by name; patch its reference too.
@@ -578,7 +618,10 @@ def enable(ledger: Ledger | None = None, *, report_at_exit: bool = False) -> Led
     seriesdb.SeriesDB._store_for_ingest = traced_store_for_ingest
     seriesdb.SeriesDB.flush = traced_flush
     seriesdb.SeriesDB._append_wal = traced_append_wal
+    seriesdb.SeriesDB._append_wal_group = traced_append_wal_group
     seriesdb.SeriesDB.close = traced_close
+    partitioned.PartitionedSeriesDB.__init__ = traced_pdb_init
+    partitioned.PartitionedSeriesDB._assign = traced_assign
 
     if report_at_exit and not _atexit_registered:
         _atexit_registered = True
@@ -592,7 +635,7 @@ def disable() -> None:
     if _active is None:
         return
     from ..codecs import container
-    from ..store import seriesdb
+    from ..store import partitioned, seriesdb
 
     container.mmap_view = _saved.pop("mmap_view")
     seriesdb.mmap_view = _saved.pop("seriesdb_mmap_view")
@@ -604,7 +647,10 @@ def disable() -> None:
     seriesdb.SeriesDB._store_for_ingest = _saved.pop("db_store_for_ingest")
     seriesdb.SeriesDB.flush = _saved.pop("db_flush")
     seriesdb.SeriesDB._append_wal = _saved.pop("db_append_wal")
+    seriesdb.SeriesDB._append_wal_group = _saved.pop("db_append_wal_group")
     seriesdb.SeriesDB.close = _saved.pop("db_close")
+    partitioned.PartitionedSeriesDB.__init__ = _saved.pop("pdb_init")
+    partitioned.PartitionedSeriesDB._assign = _saved.pop("pdb_assign")
     _active = None
 
 

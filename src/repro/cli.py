@@ -360,7 +360,7 @@ def _cmd_fsck(args) -> int:
 
 
 def _cmd_db_init(args) -> int:
-    from .store import SeriesDB
+    from .store import PartitionedSeriesDB, SeriesDB
 
     root = Path(args.root)
     if (root / "MANIFEST.json").exists():
@@ -376,26 +376,56 @@ def _cmd_db_init(args) -> int:
               "error bound: pass --eps (in stored value units)",
               file=sys.stderr)
         return 1
+    config = dict(
+        seal_threshold=args.seal_threshold,
+        hot_codec=args.hot_codec,
+        cold_codec=args.cold_codec,
+        cold_params=cold_params,
+        allow_lossy=args.allow_lossy,
+    )
     try:
-        db = SeriesDB(
-            root,
-            seal_threshold=args.seal_threshold,
-            hot_codec=args.hot_codec,
-            cold_codec=args.cold_codec,
-            cold_params=cold_params,
-            allow_lossy=args.allow_lossy,
-        )
+        if args.partitions:
+            # Partitions default to group commit (one fsync per partition
+            # per batch); single-dir keeps per-series logs unless asked.
+            group = True if args.group_commit is None else args.group_commit
+            db = PartitionedSeriesDB(
+                root, partitions=args.partitions, group_commit=group, **config
+            )
+            kind = (f"partitioned SeriesDB ({args.partitions} partitions, "
+                    f"group_commit={'on' if group else 'off'})")
+        else:
+            db = SeriesDB(root, group_commit=bool(args.group_commit), **config)
+            kind = "SeriesDB"
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
-    print(f"initialised SeriesDB at {db.root} "
+    print(f"initialised {kind} at {db.root} "
           f"(hot={args.hot_codec}, cold={args.cold_codec}, "
           f"seal_threshold={args.seal_threshold})")
     return 0
 
 
+def _cmd_db_migrate(args) -> int:
+    from .store import PartitionedSeriesDB
+
+    try:
+        db = PartitionedSeriesDB.migrate(
+            args.root,
+            partitions=args.partitions,
+            group_commit=True if args.group_commit is None else args.group_commit,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with db:
+        n = len(db)
+    print(f"migrated {args.root} to {args.partitions} partitions "
+          f"({n} series redistributed)")
+    return 0
+
+
 def _cmd_db_ingest(args) -> int:
-    from .store import SeriesDB
+    from .store import open_store
 
     if args.series:
         names = args.series.split(",")
@@ -415,7 +445,7 @@ def _cmd_db_ingest(args) -> int:
         for name, path in zip(names, args.inputs)
     }
     t0 = time.perf_counter()
-    with SeriesDB.open(args.root) as db:
+    with open_store(args.root) as db:
         counts = db.ingest_many(
             series_map, workers=args.workers, digits=args.digits,
         )
@@ -430,9 +460,9 @@ def _cmd_db_ingest(args) -> int:
 
 
 def _cmd_db_query(args) -> int:
-    from .store import SeriesDB
+    from .store import open_store
 
-    with SeriesDB.open(args.root, lazy=args.lazy) as db:
+    with open_store(args.root, lazy=args.lazy) as db:
         if args.sid not in db:
             known = ", ".join(db.series_ids()) or "(none)"
             print(f"unknown series {args.sid!r}; known: {known}",
@@ -465,10 +495,13 @@ def _cmd_db_query(args) -> int:
 
 
 def _cmd_db_compact(args) -> int:
-    from .store import SeriesDB
+    from .store import PartitionedSeriesDB, open_store
 
-    with SeriesDB.open(args.root) as db:
-        compacted = db.compact(hot_threshold=args.hot_threshold)
+    with open_store(args.root) as db:
+        if isinstance(db, PartitionedSeriesDB):
+            compacted = db.compact(args.hot_threshold, workers=args.workers)
+        else:
+            compacted = db.compact(hot_threshold=args.hot_threshold)
     if compacted:
         print(f"compacted {len(compacted)} shard(s): {', '.join(compacted)}")
     else:
@@ -477,20 +510,27 @@ def _cmd_db_compact(args) -> int:
 
 
 def _cmd_db_info(args) -> int:
-    from .store import SeriesDB
+    from .store import open_store
 
-    with SeriesDB.open(args.root) as db:
+    with open_store(args.root) as db:
         info = db.info()
     print(f"root:           {info['root']}")
     print(f"hot codec:      {info['hot_codec']}")
     print(f"cold codec:     {info['cold_codec']}")
     print(f"seal threshold: {info['seal_threshold']:,}")
+    if "partitions" in info:
+        print(f"partitions:     {info['partitions']} "
+              f"(placement {info['placement']}, group_commit "
+              f"{'on' if info.get('group_commit') else 'off'})")
     print(f"series:         {len(info['series'])}")
     for sid, entry in info["series"].items():
+        where = entry["shard"]
+        if "partition" in entry:
+            where = f"p{entry['partition']:04d}/{where}"
         print(f"  {sid}: {entry['count']:,} values "
               f"(buffer {entry['buffer_values']:,} / hot {entry['hot_values']:,}"
               f" / cold {entry['cold_values']:,}, "
-              f"digits {entry.get('digits', 0)}) -> {entry['shard']}")
+              f"digits {entry.get('digits', 0)}) -> {where}")
     return 0
 
 
@@ -516,7 +556,28 @@ def _add_db_parsers(sub) -> None:
     p.add_argument("--allow-lossy", action="store_true",
                    help="opt into a lossy cold tier: compacted history "
                         "answers within the codec's eps, not exactly")
+    p.add_argument("--partitions", type=int, default=0, metavar="N",
+                   help="create a horizontally partitioned store: N "
+                        "independent SeriesDB partition directories behind "
+                        "one facade (default: 0 = single directory)")
+    p.add_argument("--group-commit", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="WAL layout: one shared group log, one fsync per "
+                        "ingest batch (default: on for partitioned stores, "
+                        "off for single-dir)")
     p.set_defaults(func=_cmd_db_init)
+
+    p = dbsub.add_parser(
+        "migrate",
+        help="convert a single-dir SeriesDB into a partitioned one, in place",
+    )
+    p.add_argument("root")
+    p.add_argument("--partitions", type=int, default=4, metavar="N",
+                   help="partition count (default: 4)")
+    p.add_argument("--group-commit", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="group-commit WALs in the partitions (default: on)")
+    p.set_defaults(func=_cmd_db_migrate)
 
     p = dbsub.add_parser("ingest", help="batch-ingest CSV files, one series each")
     p.add_argument("root")
@@ -549,6 +610,9 @@ def _add_db_parsers(sub) -> None:
     p.add_argument("--hot-threshold", type=int, default=0,
                    help="compact shards with more than this many sealed hot "
                         "values (default: 0 = any)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="concurrent partition compactions on a partitioned "
+                        "store (default: one per core; ignored single-dir)")
     p.set_defaults(func=_cmd_db_compact)
 
     p = dbsub.add_parser("info", help="describe a SeriesDB")

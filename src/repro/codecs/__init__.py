@@ -28,11 +28,14 @@ import numpy as np
 from .container import (
     APPEND_MAGIC,
     ARCHIVE_MAGIC,
+    GROUP_MAGIC,
     LEGACY_MAGIC,
     AppendableArchive,
     Archive,
+    GroupLog,
     append_open,
     open_archive,
+    read_group_log,
     save,
 )
 from .registry import (
@@ -56,11 +59,14 @@ __all__ = [
     "CodecSpec",
     "Archive",
     "AppendableArchive",
+    "GroupLog",
+    "read_group_log",
     "save",
     "open_archive",
     "append_open",
     "ARCHIVE_MAGIC",
     "APPEND_MAGIC",
+    "GROUP_MAGIC",
     "LEGACY_MAGIC",
 ]
 

@@ -78,9 +78,12 @@ from .registry import codec_spec, get_codec, load_compressed
 __all__ = [
     "ARCHIVE_MAGIC",
     "APPEND_MAGIC",
+    "GROUP_MAGIC",
     "LEGACY_MAGIC",
     "Archive",
     "AppendableArchive",
+    "GroupLog",
+    "read_group_log",
     "save",
     "open_archive",
     "append_open",
@@ -90,11 +93,14 @@ __all__ = [
 
 ARCHIVE_MAGIC = b"RPAC0001"
 APPEND_MAGIC = b"RPAL0001"
+GROUP_MAGIC = b"RPGW0001"
 LEGACY_MAGIC = b"NTSF0001"
 
 _HEADER = struct.Struct("<8siIQ")  # magic, digits, crc32(frame), frame length
 _APPEND_HEADER = struct.Struct("<8siHI")  # magic, digits, codec id len, params len
 _RECORD = struct.Struct("<QIQ")  # frame length, crc32(frame), cumulative count
+_GROUP_HEADER = struct.Struct("<8sHI")  # magic, codec id len, params len
+_GROUP_RECORD = struct.Struct("<HiQI")  # sid len, digits, frame len, crc32(frame)
 
 
 def write_atomic(path, blob: bytes) -> None:
@@ -851,6 +857,52 @@ class AppendableArchive:
         self._num_records += 1
         return new_total
 
+    def append_many(self, batches) -> int:
+        """Append K value batches as K records with ONE write and ONE fsync.
+
+        ``batches`` is an iterable of 1-D int64 arrays.  The on-disk result
+        is byte-identical to calling :meth:`append` once per batch — same
+        record headers, same cumulative counts — but the records are
+        concatenated in memory and land with a single tail write and a
+        single ``fsync``, which is what makes batched ingest (SeriesDB
+        group commit) pay one durability round-trip per batch instead of
+        one per record.  Empty batches are skipped, matching ``append``'s
+        empty no-op; returns the new total value count.
+
+        Durability is all-or-tail: a crash mid-write tears only the
+        suffix of this write, and openers keep every record that landed
+        completely.
+        """
+        if self._sealed:
+            raise ValueError(
+                f"{self.path} was sealed into a one-shot archive; this "
+                "handle can no longer append"
+            )
+        arrays = []
+        for values in batches:
+            values = np.asarray(values, dtype=np.int64)
+            if values.ndim != 1:
+                raise ValueError("expected a 1-D array")
+            if len(values):
+                arrays.append(values)
+        if not arrays:
+            return self._total
+        blob, new_total = bytearray(), self._total
+        for values in arrays:
+            frame = self._codec().compress(values).to_bytes()
+            new_total += len(values)
+            blob += _RECORD.pack(len(frame), zlib.crc32(frame), new_total)
+            blob += frame
+        with open(self.path, "r+b") as fh:
+            fh.seek(self._end)
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._end += len(blob)
+        self._total = new_total
+        self._num_records += len(arrays)
+        return new_total
+
     def seal(self, dst=None) -> Path:
         """Compact the record sequence into a one-shot ``RPAC0001`` archive.
 
@@ -901,6 +953,201 @@ def append_open(
     return AppendableArchive.create(
         path, codec=codec or "gorilla", digits=digits or 0, **params
     )
+
+
+def _scan_group(data, path):
+    """Parse an ``RPGW0001`` buffer: header plus every *complete* record.
+
+    Returns ``(codec_id, params, records, end)`` where ``records`` is a
+    list of ``(series id, digits, frame start, frame length, crc32)`` and
+    ``end`` is the offset just past the last complete record.  Like
+    :func:`_scan_append`, bytes beyond ``end`` are a tail torn by an
+    interrupted group write — ignored here, truncated by the next writer.
+    Structural damage in the header raises; a torn tail never does.
+    """
+    view = memoryview(data)
+    if view.nbytes < _GROUP_HEADER.size:
+        raise ValueError(f"{path}: truncated group log header")
+    magic, idlen, plen = _GROUP_HEADER.unpack_from(view)
+    if magic != GROUP_MAGIC:
+        raise ValueError(f"{path}: not a group log (bad magic)")
+    pos = _GROUP_HEADER.size
+    if view.nbytes < pos + idlen + plen:
+        raise ValueError(f"{path}: truncated group log header")
+    codec_id = bytes(view[pos : pos + idlen]).decode("utf-8")
+    try:
+        params = json.loads(bytes(view[pos + idlen : pos + idlen + plen]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt group log params") from exc
+    if not isinstance(params, dict):
+        raise ValueError(f"{path}: corrupt group log params")
+    pos += idlen + plen
+    records, end = [], pos
+    while view.nbytes - pos >= _GROUP_RECORD.size:
+        sid_len, digits, frame_len, crc = _GROUP_RECORD.unpack_from(view, pos)
+        sid_start = pos + _GROUP_RECORD.size
+        frame_start = sid_start + sid_len
+        if sid_len == 0 or frame_start + frame_len > view.nbytes:
+            break  # torn tail: the record never finished landing
+        try:
+            sid = bytes(view[sid_start:frame_start]).decode("utf-8")
+        except UnicodeDecodeError:
+            break  # series id torn mid-write
+        try:
+            span = serialize.frame_span(view[frame_start : frame_start + frame_len])
+        except ValueError:
+            break  # frame header torn mid-write
+        if span != frame_len:
+            break
+        records.append((sid, digits, frame_start, frame_len, crc))
+        pos = end = frame_start + frame_len
+    return codec_id, params, records, end
+
+
+class GroupLog:
+    """The group-commit write-ahead log of a SeriesDB (``RPGW0001``).
+
+    A SeriesDB in group-commit mode replaces its per-series append logs
+    with ONE shared log per directory: every record carries its series id
+    and digits alongside the codec frame, so one ``ingest_many`` batch —
+    however many series it touches — lands as a single tail write with a
+    single ``fsync``.  Layout::
+
+        +----------+----------+--------+
+        | RPGW0001 | codec id | params |                       (header)
+        +----------+----------+--------+
+        | sid len | digits | frame len | crc32 | sid | frame | (record 0)
+        | sid len | digits | frame len | crc32 | sid | frame | (record 1)
+        | ...
+
+    Records from different series interleave in ingest order; recovery
+    (:func:`read_group_log`) regroups them per series.  The torn-tail
+    contract matches :class:`AppendableArchive`: strictly ordered tail
+    writes mean a crash can only tear the final write's suffix, which
+    openers skip and the next writer truncates.
+    """
+
+    def __init__(self) -> None:  # use create()/open()
+        self.path: Path = Path()
+        self.codec_id = ""
+        self.params: dict = {}
+        self._num_records = 0
+        self._end = 0
+        self._compressor = None
+
+    @classmethod
+    def create(cls, path, *, codec: str = "gorilla", **params) -> "GroupLog":
+        """Start a new group log at ``path`` (header only, atomic)."""
+        if codec_spec(codec).lossy:
+            raise ValueError(
+                f"group logs require a lossless codec, got {codec!r}: "
+                "replay re-ingests decoded values, which would "
+                "re-approximate an approximation"
+            )
+        get_codec(codec, **params)  # probe: bad params must fail before I/O
+        path = Path(path)
+        if path.exists():
+            raise ValueError(
+                f"{path} already exists; use GroupLog.open to resume it"
+            )
+        cid = codec.encode("utf-8")
+        pjson = json.dumps(params or {}, sort_keys=True).encode("utf-8")
+        header = _GROUP_HEADER.pack(GROUP_MAGIC, len(cid), len(pjson))
+        write_atomic(path, header + cid + pjson)
+        log = cls()
+        log.path = path
+        log.codec_id = codec
+        log.params = dict(params)
+        log._end = _GROUP_HEADER.size + len(cid) + len(pjson)
+        return log
+
+    @classmethod
+    def open(cls, path) -> "GroupLog":
+        """Resume an existing group log for writing (drops any torn tail)."""
+        path = Path(path)
+        data = path.read_bytes()
+        codec_id, params, records, end = _scan_group(data, path)
+        log = cls()
+        log.path = path
+        log.codec_id = codec_id
+        log.params = dict(params)
+        log._num_records = len(records)
+        log._end = end
+        if len(data) > end:  # torn tail from a crashed write: drop it now
+            with open(path, "r+b") as fh:
+                fh.truncate(end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return log
+
+    @property
+    def num_records(self) -> int:
+        """Records written so far (one per non-empty series batch)."""
+        return self._num_records
+
+    def _codec(self):
+        if self._compressor is None:
+            self._compressor = get_codec(self.codec_id, **self.params)
+        return self._compressor
+
+    def append_group(self, batches) -> int:
+        """Land a whole ingest batch as one fsync'd tail write.
+
+        ``batches`` is an iterable of ``(series_id, digits, values)``
+        triples; each non-empty triple becomes one record, and ALL of them
+        share a single write + ``fsync`` — the group commit.  Returns the
+        number of records written.
+        """
+        blob, written = bytearray(), 0
+        for series_id, digits, values in batches:
+            if not series_id:
+                raise ValueError("group log records need a non-empty series id")
+            values = np.asarray(values, dtype=np.int64)
+            if values.ndim != 1:
+                raise ValueError("expected a 1-D array")
+            if len(values) == 0:
+                continue
+            sid = series_id.encode("utf-8")
+            frame = self._codec().compress(values).to_bytes()
+            blob += _GROUP_RECORD.pack(
+                len(sid), int(digits), len(frame), zlib.crc32(frame)
+            )
+            blob += sid + frame
+            written += 1
+        if not written:
+            return 0
+        with open(self.path, "r+b") as fh:
+            fh.seek(self._end)
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._end += len(blob)
+        self._num_records += written
+        return written
+
+
+def read_group_log(path):
+    """Decode a group log into ``[(series_id, digits, values), ...]``.
+
+    The recovery-side reader: every complete record is crc-verified and
+    decompressed; a torn tail is skipped exactly as :meth:`GroupLog.open`
+    would truncate it.  A crc mismatch on a *sealed* record is real
+    corruption (not a crash artefact) and raises.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    codec_id, params, records, _end = _scan_group(data, path)
+    view = memoryview(data)
+    out = []
+    for sid, digits, start, frame_len, crc in records:
+        frame = view[start : start + frame_len]
+        if zlib.crc32(frame) != crc:
+            raise ValueError(
+                f"{path}: crc mismatch in group log record for series {sid!r}"
+            )
+        values = load_compressed(bytes(frame)).decompress()
+        out.append((sid, digits, np.asarray(values, dtype=np.int64)))
+    return out
 
 
 def _open_legacy(path: Path, data) -> Archive:

@@ -28,6 +28,13 @@ the whole store serialises: :meth:`to_bytes` / :meth:`from_bytes` persist
 buffer, hot blocks, and cold run in their native framed layouts.
 
 All three tiers answer ``access``/``range`` transparently.
+
+A :class:`TieredStore` is the per-series engine inside every
+``repro.store`` database: one per series in a single-dir
+:class:`~repro.store.seriesdb.SeriesDB`, and one per series *per
+partition* behind the :class:`~repro.store.partitioned.PartitionedSeriesDB`
+façade — the partitioning layer routes to a store like this one and never
+changes its tiering behaviour.
 """
 
 from __future__ import annotations

@@ -31,11 +31,17 @@ True
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
-__all__ = ["compress_many", "compress_many_frames", "default_workers"]
+__all__ = [
+    "compress_many",
+    "compress_many_frames",
+    "default_workers",
+    "process_map",
+    "thread_map",
+]
 
 
 def default_workers() -> int:
@@ -89,6 +95,50 @@ def compress_many_frames(
         return dict(map(_compress_frame, tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return dict(pool.map(_compress_frame, tasks, chunksize=1))
+
+
+def process_map(fn, tasks, *, workers: int | None = None) -> list:
+    """Run ``fn`` over ``tasks`` in a process pool, order-preserving.
+
+    The partition fan-out primitive of
+    :class:`~repro.store.partitioned.PartitionedSeriesDB`: each task is a
+    self-contained picklable description of one partition's work (ingest
+    a sub-batch, compact a directory), ``fn`` a module-level function.
+    ``workers <= 1`` or a single task runs serially in-process with no
+    pool — the same degradation rule as :func:`compress_many_frames`, and
+    what keeps deterministic-schedule tests fork-free.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(int(workers), len(tasks)))
+    if workers == 1 or len(tasks) == 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=1))
+
+
+def thread_map(fn, tasks, *, workers: int | None = None) -> list:
+    """Run ``fn`` over ``tasks`` in a thread pool, order-preserving.
+
+    The scatter-gather primitive for cross-partition *reads*: queries
+    against distinct partitions only contend on distinct locks and spend
+    their time in decompression, so threads are enough (no pickling, no
+    fork cost) and results come back cheap.  Same serial degradation rule
+    as :func:`process_map`.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(int(workers), len(tasks)))
+    if workers == 1 or len(tasks) == 1:
+        return [fn(task) for task in tasks]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))
 
 
 def compress_many(

@@ -79,7 +79,13 @@ from pathlib import Path
 import numpy as np
 
 from ..baselines.base import Compressed
-from ..codecs.container import AppendableArchive, mmap_view, open_archive
+from ..codecs.container import (
+    AppendableArchive,
+    GroupLog,
+    mmap_view,
+    open_archive,
+    read_group_log,
+)
 from ..codecs.container import write_atomic as _write_atomic
 from ..core.tiered import TieredStore
 from .parallel import compress_many_frames
@@ -115,6 +121,15 @@ class SeriesDB:
         compacted ranges then answer within that ε.  The *hot* tier can
         never be lossy — consolidation decodes it, and re-approximating
         an approximation would compound the error beyond any bound.
+    group_commit:
+        Durability layout, fixed at creation time and recorded in the
+        manifest.  ``False`` (the default) keeps one append log per
+        series: an ``ingest_many`` batch touching K series costs K
+        fsyncs.  ``True`` replaces them with ONE shared group log
+        (:class:`~repro.codecs.container.GroupLog`): each record carries
+        its series id, so a whole batch lands as a single fsync'd tail
+        write — the group commit.  Recovery regroups records per series
+        and replays them exactly like per-series logs.
     cache_capacity:
         Maximum number of *clean* open shards kept parsed in the LRU
         cache (``None`` = unbounded).  Dirty shards are pinned until
@@ -137,6 +152,7 @@ class SeriesDB:
         hot_params: dict | None = None,
         cold_params: dict | None = None,
         allow_lossy: bool = False,
+        group_commit: bool = False,
         cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
         lazy: bool = False,
     ) -> None:
@@ -159,6 +175,11 @@ class SeriesDB:
         # force a re-commit before the next record lands, or data would land
         # in a file recovery cannot find.
         self._wal_synced: set[str] = set()
+        # Group-commit state: in group mode all series share ONE log (see
+        # _append_wal_group); these stay inert in per-series-WAL mode.
+        self._group_name: str | None = None
+        self._group_log: GroupLog | None = None
+        self._group_pending: dict[str, list[np.ndarray]] = {}
         manifest_path = self._root / MANIFEST_NAME
         if manifest_path.exists():
             manifest = json.loads(manifest_path.read_text("utf-8"))
@@ -179,11 +200,14 @@ class SeriesDB:
             }
             # Pre-lossy manifests carry no flag; their codecs are lossless.
             self._config["allow_lossy"] = bool(manifest.get("allow_lossy", False))
+            # Pre-group-commit manifests carry no flag; they use per-series
+            # logs.  The mode is fixed at creation time — the constructor
+            # argument is ignored for an existing database, like the codecs.
+            self._config["group_commit"] = bool(manifest.get("group_commit", False))
+            self._group_name = manifest.get("group_wal")
             self._series: dict[str, dict] = dict(manifest["series"])
             self._next_shard = int(manifest["next_shard"])
-            self._wal_synced = {
-                e["wal"] for e in self._series.values() if "wal" in e
-            }
+            self._wal_synced = self._wal_names()
             self._recover_append_logs()
         else:
             if not isinstance(hot_codec, str) or not isinstance(cold_codec, str):
@@ -203,6 +227,7 @@ class SeriesDB:
                 "cold_codec": cold_codec,
                 "cold_params": dict(cold_params or {}),
                 "allow_lossy": bool(allow_lossy),
+                "group_commit": bool(group_commit),
             }
             self._series = {}
             self._next_shard = 0
@@ -295,6 +320,7 @@ class SeriesDB:
             self._stores.clear()
             self._cached_gen.clear()
             self._wals.clear()
+            self._group_log = None
             self._closed = True
 
     @property
@@ -397,7 +423,10 @@ class SeriesDB:
             store = self._store_for_ingest(series_id)
             self._apply_digits(series_id, digits)
             if len(values):
-                self._append_wal(series_id, values)
+                if self._config["group_commit"]:
+                    self._append_wal_group([(series_id, values)])
+                else:
+                    self._append_wal(series_id, values)
             store.extend(values)
             self._dirty.add(series_id)
             return len(store)
@@ -455,16 +484,27 @@ class SeriesDB:
             # one per new series inside _append_wal.
             counts = {}
             stores = {}
+            group_mode = bool(self._config["group_commit"])
+            pending_log: list[tuple[str, np.ndarray]] = []
             for sid, values, head, n_chunks in plans:
                 stores[sid] = self._store_for_ingest(sid)
                 self._apply_digits(sid, digits)
-                if len(values) and "wal" not in self._series[sid]:
-                    self._series[sid]["wal"] = self._gen_name(sid, ".wal")
+                if len(values):
+                    if group_mode:
+                        pending_log.append((sid, values))
+                        if self._group_name is None:
+                            self._group_name = self._group_gen_name()
+                    elif "wal" not in self._series[sid]:
+                        self._series[sid]["wal"] = self._gen_name(sid, ".wal")
             self._sync_wal_manifest()  # no-op when every log is referenced
+            if pending_log:  # the group commit: ONE fsync for the whole batch
+                self._append_wal_group(pending_log)
             for sid, values, head, n_chunks in plans:
                 store = stores[sid]
-                if len(values):  # one durable append-log record per series
-                    self._append_wal(sid, values)
+                if len(values) and not group_mode:
+                    # One durable append-log record per series, routed
+                    # through the coalescing writer shared with group mode.
+                    self._append_wal(sid, values, batched=True)
                 self._dirty.add(sid)
                 if head:
                     store.extend(values[:head])
@@ -610,11 +650,15 @@ class SeriesDB:
                     cold_values=report["cold_values"],
                     buffer_values=report["buffer_values"],
                 )
+            # Group mode rotates the ONE shared log: everything it held is
+            # dirty, so everything it held was just flushed into snapshots.
+            if self._group_name and (self._root / self._group_name).exists():
+                replaced.append(self._root / self._group_name)
+                self._group_name = self._group_gen_name()
+                self._group_log = None
             self._dirty.clear()
             self._write_manifest()  # the commit point
-            self._wal_synced = {
-                e["wal"] for e in self._series.values() if "wal" in e
-            }
+            self._wal_synced = self._wal_names()
             for path in replaced:
                 path.unlink(missing_ok=True)
             self._evict()  # flushed shards are clean and evictable again
@@ -669,7 +713,9 @@ class SeriesDB:
 
     # -- the write-ahead append log -------------------------------------------
 
-    def _append_wal(self, series_id: str, values: np.ndarray) -> None:
+    def _append_wal(
+        self, series_id: str, values: np.ndarray, *, batched: bool = False
+    ) -> None:
         """Land ``values`` in the series' append log, durably, before the store.
 
         The log is an appendable archive compressed with the hot codec —
@@ -678,6 +724,11 @@ class SeriesDB:
         this log generation (new series, or first append after a rotation
         on an old-format manifest): crash recovery finds logs through the
         manifest, so data must never land in an unreferenced file.
+
+        ``batched`` routes the write through
+        :meth:`~repro.codecs.container.AppendableArchive.append_many` —
+        byte-identical on disk, used by :meth:`ingest_many` so the batch
+        path exercises the same coalescing writer group commit relies on.
         """
         entry = self._series[series_id]
         if "wal" not in entry:
@@ -697,11 +748,61 @@ class SeriesDB:
                     **self._config["hot_params"],
                 )
             self._wals[series_id] = wal
-        wal.append(values)
+        if batched:
+            wal.append_many([values])
+        else:
+            wal.append(values)
+
+    def _append_wal_group(self, batches: list[tuple[str, np.ndarray]]) -> None:
+        """Land a whole ingest batch in the shared group log — ONE fsync.
+
+        The group-commit counterpart of :meth:`_append_wal` (called under
+        the lock, group mode only): every ``(series id, values)`` pair in
+        ``batches`` becomes one record of the database's single
+        :class:`~repro.codecs.container.GroupLog`, and all of them share
+        one tail write + fsync.  The same manifest-first discipline
+        applies — the log generation must be referenced by the on-disk
+        manifest before data lands in it.  Records carry series id and
+        digits, so recovery can even re-register a series whose manifest
+        entry never committed.
+        """
+        if self._group_name is None:
+            self._group_name = self._group_gen_name()
+        if self._group_name not in self._wal_synced:
+            self._sync_wal_manifest()
+        log = self._group_log
+        if log is None:
+            path = self._root / self._group_name
+            if path.exists():
+                log = GroupLog.open(path)
+            else:
+                log = GroupLog.create(
+                    path,
+                    codec=self._config["hot_codec"],
+                    **self._config["hot_params"],
+                )
+            self._group_log = log
+        log.append_group(
+            (sid, int(self._series[sid].get("digits", 0)), values)
+            for sid, values in batches
+        )
+
+    def _group_gen_name(self) -> str:
+        """A fresh, never-reused generation filename for the group log."""
+        name = f"{_SHARD_DIR}/group-{self._next_shard:04d}.gwl"
+        self._next_shard += 1
+        return name
+
+    def _wal_names(self) -> set[str]:
+        """Every log generation the manifest must reference to be durable."""
+        names = {e["wal"] for e in self._series.values() if "wal" in e}
+        if self._group_name:
+            names.add(self._group_name)
+        return names
 
     def _sync_wal_manifest(self) -> None:
         """Commit the manifest unless it already references every log name."""
-        names = {e["wal"] for e in self._series.values() if "wal" in e}
+        names = self._wal_names()
         if not names <= self._wal_synced:
             self._write_manifest()
             self._wal_synced = names
@@ -713,8 +814,15 @@ class SeriesDB:
         manifest holds exactly the values appended since the snapshot was
         committed (flush rotates to an empty generation atomically with
         the snapshot count), so replay is a plain ``extend`` — and the
-        shard is re-marked dirty so the next flush consolidates it.
+        shard is re-marked dirty so the next flush consolidates it.  In
+        group mode the values were regrouped per series up front (see
+        :meth:`_recover_group_log`) and drain from ``_group_pending``.
         """
+        if self._config["group_commit"]:
+            for values in self._group_pending.pop(series_id, ()):
+                store.extend(values)
+                self._dirty.add(series_id)
+            return
         name = self._series[series_id].get("wal")
         if not name:
             return
@@ -729,10 +837,40 @@ class SeriesDB:
 
     def _recover_append_logs(self) -> None:
         """Load (and thereby replay) every series with a surviving append log."""
+        if self._config["group_commit"]:
+            self._recover_group_log()
+            return
         for sid, entry in self._series.items():
             name = entry.get("wal")
             if name and (self._root / name).exists():
                 self._load(sid)
+
+    def _recover_group_log(self) -> None:
+        """Replay the shared group log: regroup records, extend each series.
+
+        Records interleave in ingest order; they are regrouped per series
+        (preserving order) into ``_group_pending``, then each touched
+        series is materialised — known series replay inside
+        :meth:`_replay_wal` on load, while a series whose manifest entry
+        never committed (crash between the group write and a later
+        manifest commit) is re-registered from the record's own series id
+        and digits before its values are applied.
+        """
+        name = self._group_name
+        if not name or not (self._root / name).exists():
+            return
+        digits_of: dict[str, int] = {}
+        for sid, digits, values in read_group_log(self._root / name):
+            self._group_pending.setdefault(sid, []).append(values)
+            digits_of[sid] = int(digits)
+        for sid in list(self._group_pending):
+            known = sid in self._series
+            store = self._store_for_ingest(sid)  # known: loads + replays
+            if not known:
+                self._series[sid]["digits"] = digits_of[sid]
+            for values in self._group_pending.pop(sid, ()):
+                store.extend(values)
+                self._dirty.add(sid)
 
     def _entry(self, series_id: str) -> dict:
         try:
@@ -821,6 +959,8 @@ class SeriesDB:
             "next_shard": self._next_shard,
             "series": self._series,
         }
+        if self._group_name:  # absent outside group mode: old bytes unchanged
+            manifest["group_wal"] = self._group_name
         # No sort_keys: the series mapping keeps ingestion order, and equal
         # states serialise to identical bytes either way.
         blob = json.dumps(manifest, indent=2).encode("utf-8")
